@@ -1,0 +1,308 @@
+// Package edr_test benchmarks every paper artifact this module
+// regenerates (one benchmark per table/figure — see DESIGN.md §4 and
+// cmd/edr-bench for the figure data itself) plus the micro-operations the
+// solvers are built from. Run:
+//
+//	go test -bench=. -benchmem
+package edr_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"edr/internal/cdpsm"
+	"edr/internal/central"
+	"edr/internal/core"
+	"edr/internal/donar"
+	"edr/internal/experiments"
+	"edr/internal/lddm"
+	"edr/internal/model"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/transport"
+)
+
+// --- One benchmark per paper artifact -----------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	run, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ModelEval regenerates the Table I instantiation.
+func BenchmarkTable1ModelEval(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig3PowerProfileCDPSM regenerates the CDPSM power profiles.
+func BenchmarkFig3PowerProfileCDPSM(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4PowerProfileLDDM regenerates the LDDM power profiles.
+func BenchmarkFig4PowerProfileLDDM(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5Convergence regenerates the convergence comparison.
+func BenchmarkFig5Convergence(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6VideoStreaming regenerates the per-replica video costs.
+func BenchmarkFig6VideoStreaming(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7DFS regenerates the per-replica DFS costs.
+func BenchmarkFig7DFS(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8TotalEnergySingleRun measures one randomized configuration
+// of the Fig 8 sweep (the full 40-run sweep is cmd/edr-bench territory —
+// here one run keeps the regression signal per-op).
+func BenchmarkFig8TotalEnergySingleRun(b *testing.B) {
+	r := sim.NewRand(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prob, err := probgen.MustFeasible(r.Split(), probgen.Spec{Clients: 10, Replicas: 8, Geo: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ld := lddm.New()
+		ld.MaxIters = 250
+		if _, err := ld.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+		cd := cdpsm.New()
+		cd.MaxIters = 250
+		if _, err := cd.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9EDRRound measures one live EDR scheduling round (96
+// requests, 3 replicas, LDDM over the in-process fabric) — the unit of
+// work behind every Fig 9 data point, without the injected link delays.
+func BenchmarkFig9EDRRound(b *testing.B) {
+	const count = 96
+	prices := []float64{3, 7, 12}
+	names := []string{"replica1", "replica2", "replica3"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := transport.NewInProcNetwork()
+		var replicas []*core.ReplicaServer
+		for j, price := range prices {
+			cfg := core.ReplicaConfig{
+				Replica:   model.NewReplica(names[j], price),
+				Algorithm: core.LDDM,
+				MaxIters:  12,
+				Tol:       0.2,
+			}
+			rs, err := core.NewReplicaServer(net, names[j], names, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			replicas = append(replicas, rs)
+		}
+		lat := map[string]float64{"replica1": 0.0005, "replica2": 0.0005, "replica3": 0.0005}
+		ctx := context.Background()
+		var clients []*core.Client
+		for c := 0; c < count; c++ {
+			cl, err := core.NewClient(net, fmt.Sprintf("client%d", c+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients = append(clients, cl)
+		}
+		b.StartTimer()
+		for _, cl := range clients {
+			if err := cl.Submit(ctx, "replica1", 1.0, lat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := replicas[0].RunRound(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for _, cl := range clients {
+			cl.Close()
+		}
+		for _, rs := range replicas {
+			rs.Close()
+		}
+		b.StartTimer()
+	}
+}
+
+// --- Solver benchmarks (paper-scale instances) --------------------------
+
+func paperScaleProblem(b *testing.B, seed uint64) *opt.Problem {
+	b.Helper()
+	prob, err := probgen.MustFeasible(sim.NewRand(seed), probgen.Spec{
+		Clients:  12,
+		Replicas: 8,
+		Prices:   []float64{1, 8, 1, 6, 1, 5, 2, 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// BenchmarkSolverLDDM runs the LDDM engine on the paper-scale instance.
+func BenchmarkSolverLDDM(b *testing.B) {
+	prob := paperScaleProblem(b, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lddm.New().Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverCDPSM runs the CDPSM engine on the paper-scale instance.
+func BenchmarkSolverCDPSM(b *testing.B) {
+	prob := paperScaleProblem(b, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := cdpsm.New()
+		s.MaxIters = 300
+		if _, err := s.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverCentral runs the centralized reference.
+func BenchmarkSolverCentral(b *testing.B) {
+	prob := paperScaleProblem(b, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := central.New().Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverDONAR runs the DONAR comparator.
+func BenchmarkSolverDONAR(b *testing.B) {
+	prob := paperScaleProblem(b, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := donar.New().Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks ----------------------------------------------------
+
+// BenchmarkProjectSimplex measures the sort-based simplex projection.
+func BenchmarkProjectSimplex(b *testing.B) {
+	r := sim.NewRand(2)
+	x := make([]float64, 64)
+	src := make([]float64, 64)
+	for i := range src {
+		src[i] = r.Range(-10, 10)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(x, src)
+		opt.ProjectSimplex(x, 25)
+	}
+}
+
+// BenchmarkProjectCappedSimplex measures the bisection projection.
+func BenchmarkProjectCappedSimplex(b *testing.B) {
+	r := sim.NewRand(3)
+	x := make([]float64, 64)
+	src := make([]float64, 64)
+	u := make([]float64, 64)
+	for i := range src {
+		src[i] = r.Range(-10, 10)
+		u[i] = r.Range(0.5, 5)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(x, src)
+		if err := opt.ProjectCappedSimplex(x, u, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProjectFeasible measures the Dykstra feasible-set projection on
+// the paper-scale polytope.
+func BenchmarkProjectFeasible(b *testing.B) {
+	prob := paperScaleProblem(b, 4)
+	start, err := prob.UniformStart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := opt.Clone(start)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt.Copy(x, start)
+		opt.Scale(x, 1.7) // push it off the polytope
+		if err := opt.ProjectFeasible(prob, x, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaterFilling measures one LDDM local solve.
+func BenchmarkWaterFilling(b *testing.B) {
+	r := sim.NewRand(5)
+	const c = 64
+	lp := &lddm.LocalProblem{
+		Replica: model.NewReplica("r", 5),
+		Mu:      make([]float64, c),
+		Demands: make([]float64, c),
+		Allowed: make([]bool, c),
+	}
+	for i := 0; i < c; i++ {
+		lp.Mu[i] = r.Range(-40, 5)
+		lp.Demands[i] = r.Range(1, 30)
+		lp.Allowed[i] = true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lddm.SolveLocal(lp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxFlowFeasibility measures the feasibility oracle.
+func BenchmarkMaxFlowFeasibility(b *testing.B) {
+	prob := paperScaleProblem(b, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := opt.CheckFeasible(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireCodec measures one frame round-trip of the TCP codec.
+func BenchmarkWireCodec(b *testing.B) {
+	payload := make([]float64, 96*3)
+	msg, err := transport.NewMessage("replica.solution", "replica1", payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := transport.WriteFrame(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := transport.ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

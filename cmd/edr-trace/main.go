@@ -1,0 +1,116 @@
+// Command edr-trace generates, inspects, and windows YouTube-patterned
+// workload traces — the request streams behind every experiment in this
+// module — as CSV files that edr-bench-style harnesses (or external
+// tools) can replay.
+//
+//	edr-trace -app video -clients 12 -rate 240 -hours 2 -out trace.csv
+//	edr-trace -inspect trace.csv -window 1m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"edr/internal/sim"
+	"edr/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "dfs", "application: video (≈100 MB requests) or dfs (≈10 MB)")
+		clients  = flag.Int("clients", 10, "number of distinct clients")
+		rate     = flag.Float64("rate", 600, "mean requests/hour across all clients")
+		hours    = flag.Float64("hours", 1, "trace duration in hours")
+		catalog  = flag.Int("catalog", 1000, "content catalog size (Zipf-popular)")
+		seed     = flag.Uint64("seed", 2013, "random seed")
+		out      = flag.String("out", "", "write the generated trace to this CSV file ('-' for stdout)")
+		inspect  = flag.String("inspect", "", "read a trace CSV and print statistics instead of generating")
+		windowMS = flag.Duration("window", time.Minute, "window width for per-window statistics")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectTrace(*inspect, *windowMS)
+		return
+	}
+
+	var a workload.Application
+	switch *app {
+	case "video":
+		a = workload.VideoStreaming
+	case "dfs":
+		a = workload.DFS
+	default:
+		log.Fatalf("edr-trace: unknown app %q (want video or dfs)", *app)
+	}
+	trace, err := workload.Generate(sim.NewRand(*seed), workload.Config{
+		App:             a,
+		Clients:         *clients,
+		CatalogSize:     *catalog,
+		MeanRatePerHour: *rate,
+		Duration:        time.Duration(*hours * float64(time.Hour)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d %s requests, %.0f MB total\n",
+		len(trace), a, workload.TotalMB(trace))
+	switch *out {
+	case "":
+		log.Fatal("edr-trace: -out required when generating (use '-' for stdout)")
+	case "-":
+		if err := workload.WriteCSV(os.Stdout, trace); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := workload.WriteCSV(f, trace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func inspectTrace(path string, window time.Duration) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadCSV(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(trace) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	first, last := trace[0].Arrival, trace[len(trace)-1].Arrival
+	span := last.Sub(first)
+	fmt.Printf("requests: %d over %v (%.0f MB total)\n", len(trace), span.Round(time.Second), workload.TotalMB(trace))
+
+	clients := map[int]int{}
+	contents := map[int]int{}
+	for _, req := range trace {
+		clients[req.Client]++
+		contents[req.Content]++
+	}
+	fmt.Printf("clients: %d distinct; contents: %d distinct\n", len(clients), len(contents))
+
+	count := int(span/window) + 1
+	if count > 48 {
+		count = 48
+	}
+	windows := workload.Window(trace, first, window, count)
+	fmt.Printf("\n%-8s %8s %10s\n", "window", "requests", "MB")
+	for w, batch := range windows {
+		fmt.Printf("%-8d %8d %10.0f\n", w, len(batch), workload.TotalMB(batch))
+	}
+}

@@ -1,0 +1,84 @@
+// Command edrctl is the EDR client: it measures its latency to every
+// replica, submits a demand to a contact replica, waits for the fleet's
+// scheduling decision, and (optionally) downloads the selected bytes from
+// each chosen replica in parallel.
+//
+//	edrctl -replicas 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -demand 25 -download
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"edr/internal/core"
+	"edr/internal/transport"
+)
+
+func main() {
+	var (
+		replicas = flag.String("replicas", "127.0.0.1:7001", "comma-separated replica addresses (first is the contact)")
+		listen   = flag.String("listen", "127.0.0.1:0", "client bind address")
+		demand   = flag.Float64("demand", 10, "requested traffic R_c in MB")
+		download = flag.Bool("download", false, "download the payload after allocation")
+		timeout  = flag.Duration("timeout", 30*time.Second, "overall deadline")
+	)
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("edrctl: no replicas given")
+	}
+	client, err := core.NewClient(transport.NewTCPNetwork(), *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Measure the network view the optimizer will respect.
+	latencies := make(map[string]float64, len(addrs))
+	for _, addr := range addrs {
+		rtt, err := client.Ping(ctx, addr)
+		if err != nil {
+			log.Printf("edrctl: replica %s unreachable (%v); excluded", addr, err)
+			continue
+		}
+		latencies[addr] = rtt.Seconds()
+		fmt.Printf("ping %-22s %v\n", addr, rtt.Round(time.Microsecond))
+	}
+	if len(latencies) == 0 {
+		log.Fatal("edrctl: no reachable replicas")
+	}
+
+	start := time.Now()
+	if err := client.Submit(ctx, addrs[0], *demand, latencies); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %.1f MB to %s; waiting for the fleet's decision...\n", *demand, addrs[0])
+	alloc, err := client.WaitAllocation(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocation (round %d, %s, %d iterations, %v):\n",
+		alloc.Round, alloc.Algorithm, alloc.Iterations, time.Since(start).Round(time.Millisecond))
+	for addr, mb := range alloc.PerReplicaMB {
+		fmt.Printf("  %-22s %8.2f MB\n", addr, mb)
+	}
+	if *download {
+		n, err := client.Download(ctx, alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("downloaded %d payload bytes across %d replicas\n", n, len(alloc.PerReplicaMB))
+	}
+}

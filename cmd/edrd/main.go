@@ -1,0 +1,99 @@
+// Command edrd runs one EDR replica server: it listens for client
+// requests, participates in the ring fault-tolerance protocol with its
+// peers, and periodically initiates distributed scheduling rounds over the
+// pending requests using LDDM or CDPSM.
+//
+// A three-replica fleet on one machine:
+//
+//	edrd -listen 127.0.0.1:7001 -peers 127.0.0.1:7002,127.0.0.1:7003 -price 1
+//	edrd -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7003 -price 8
+//	edrd -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002 -price 3
+//
+// then submit demand with edrctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"edr/internal/core"
+	"edr/internal/model"
+	"edr/internal/transport"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7001", "address to bind (host:port)")
+		peers     = flag.String("peers", "", "comma-separated peer replica addresses")
+		price     = flag.Float64("price", 5, "electricity price u_n in ¢/kWh")
+		bandwidth = flag.Float64("bandwidth", 100, "bandwidth capacity B_n in MB/s")
+		alpha     = flag.Float64("alpha", model.DefaultAlpha, "server-energy weight α_n")
+		beta      = flag.Float64("beta", model.DefaultBeta, "network-energy weight β_n")
+		gamma     = flag.Float64("gamma", model.DefaultGamma, "network-energy degree γ_n")
+		algorithm = flag.String("algorithm", "LDDM", "scheduling algorithm: LDDM, CDPSM or ADMM")
+		window    = flag.Duration("batch-window", 2*time.Second, "how often to run a scheduling round over pending requests")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "ring heartbeat interval")
+		maxIters  = flag.Int("max-iters", 200, "distributed iteration bound per round")
+	)
+	flag.Parse()
+
+	alg, err := core.ParseAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := model.Replica{
+		Name:      *listen,
+		Price:     *price,
+		Alpha:     *alpha,
+		Beta:      *beta,
+		Gamma:     *gamma,
+		Bandwidth: *bandwidth,
+	}
+	var members []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			members = append(members, p)
+		}
+	}
+	server, err := core.NewReplicaServer(transport.NewTCPNetwork(), *listen, members, core.ReplicaConfig{
+		Replica:   rep,
+		Algorithm: alg,
+		MaxIters:  *maxIters,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	server.Monitor().Interval = *heartbeat
+	server.Monitor().OnFailure = func(dead string) {
+		log.Printf("ring: member %s declared dead; ring now %s", dead, server.Ring().Snapshot())
+	}
+	server.Monitor().Start()
+	log.Printf("edrd: replica %s up (price %g ¢/kWh, B %g MB/s, %s); ring %s",
+		server.Addr(), *price, *bandwidth, alg, server.Ring().Snapshot())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Println("edrd: shutting down")
+		cancel()
+	}()
+	server.ServeRounds(ctx, *window,
+		func(report *core.RoundReport) {
+			log.Printf("round %d (%s): %d clients over %d replicas in %d iterations, cost %.2f, restarts %d",
+				report.Round, report.Algorithm, len(report.ClientAddrs), len(report.ReplicaAddrs),
+				report.Iterations, report.Objective, report.Restarts)
+		},
+		func(err error) { log.Printf("round failed: %v", err) },
+	)
+}

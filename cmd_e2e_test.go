@@ -1,0 +1,115 @@
+package edr_test
+
+// End-to-end test of the shipped binaries: build edrd/edrctl into a temp
+// directory, boot a three-replica fleet on loopback, and drive a real
+// client through submission, allocation, and download. Skipped in -short
+// mode (it compiles binaries and sleeps through batch windows).
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return ports
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary e2e skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"edrd", "edrctl"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	ports := freePorts(t, 3)
+	addrs := make([]string, 3)
+	for i, p := range ports {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", p)
+	}
+	prices := []string{"1", "8", "3"}
+	var daemons []*exec.Cmd
+	for i := range addrs {
+		peers := make([]string, 0, 2)
+		for j := range addrs {
+			if j != i {
+				peers = append(peers, addrs[j])
+			}
+		}
+		cmd := exec.Command(filepath.Join(bin, "edrd"),
+			"-listen", addrs[i],
+			"-peers", strings.Join(peers, ","),
+			"-price", prices[i],
+			"-batch-window", "300ms",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		daemons = append(daemons, cmd)
+	}
+	t.Cleanup(func() {
+		for _, d := range daemons {
+			_ = d.Process.Kill()
+			_ = d.Wait()
+		}
+	})
+
+	// Wait until every daemon accepts connections.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, addr := range addrs {
+		for {
+			conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon %s never came up", addr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	out, err := exec.Command(filepath.Join(bin, "edrctl"),
+		"-replicas", strings.Join(addrs, ","),
+		"-demand", "30",
+		"-download",
+		"-timeout", "30s",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("edrctl: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"allocation (round", "LDDM", "downloaded"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("edrctl output missing %q:\n%s", want, text)
+		}
+	}
+}

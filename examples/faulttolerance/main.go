@@ -1,0 +1,93 @@
+// Fault tolerance: EDR's ring structure in action (paper §III-C). A
+// four-replica fleet schedules a round, one replica crashes, the ring
+// detects and prunes it, and the next round is re-scheduled on the
+// survivors without client involvement.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"edr/internal/core"
+	"edr/internal/model"
+	"edr/internal/transport"
+)
+
+func main() {
+	net := transport.NewInProcNetwork()
+	names := []string{"r1", "r2", "r3", "r4"}
+	prices := []float64{2, 8, 4, 6}
+	var replicas []*core.ReplicaServer
+	for i, name := range names {
+		rs, err := core.NewReplicaServer(net, name, names, core.ReplicaConfig{
+			Replica:   model.NewReplica(name, prices[i]),
+			Algorithm: core.LDDM,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		rs.Monitor().OnFailure = func(dead string) {
+			fmt.Printf("  [%s] member %s declared dead; ring now %s\n",
+				name, dead, rs.Ring().Snapshot())
+		}
+		replicas = append(replicas, rs)
+	}
+	fmt.Println("initial ring:", replicas[0].Ring().Snapshot())
+
+	ctx := context.Background()
+	latencies := map[string]float64{}
+	for _, n := range names {
+		latencies[n] = 0.0005
+	}
+	client, err := core.NewClient(net, "client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Round 1: everyone healthy.
+	if err := client.Submit(ctx, "r1", 40, latencies); err != nil {
+		log.Fatal(err)
+	}
+	report, err := replicas[0].RunRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round %d used %d replicas (restarts: %d)\n",
+		report.Round, len(report.ReplicaAddrs), report.Restarts)
+	if _, err := client.WaitAllocation(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Crash r3 (a cheap replica carrying load) mid-flight.
+	fmt.Println("\n*** crashing r3 ***")
+	net.Crash("r3")
+
+	// The heartbeat protocol notices: r2's successor is r3.
+	replicas[1].Monitor().Beat()
+
+	// Round 2: the initiator re-schedules on the pruned ring. Even if the
+	// heartbeat had not fired yet, the round itself would hit the dead
+	// member, declare it, and restart — both paths converge.
+	if err := client.Submit(ctx, "r1", 40, latencies); err != nil {
+		log.Fatal(err)
+	}
+	report, err = replicas[0].RunRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round %d used %d replicas (restarts: %d); survivors: %v\n",
+		report.Round, len(report.ReplicaAddrs), report.Restarts, report.ReplicaAddrs)
+	alloc, err := client.WaitAllocation(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := alloc.PerReplicaMB["r3"]; ok {
+		log.Fatal("dead replica still selected!")
+	}
+	fmt.Println("client allocation avoids the dead replica — service continued uninterrupted")
+}

@@ -1,0 +1,73 @@
+package edr_test
+
+// Smoke tests that every example still builds and runs to completion —
+// examples rot silently otherwise. Each runs as a subprocess with a
+// deadline; skipped in -short mode.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, name string, wantOutput ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	done := make(chan struct{})
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Minute):
+		_ = cmd.Process.Kill()
+		t.Fatalf("example %s timed out", name)
+	}
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	for _, want := range wantOutput {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("example %s output missing %q:\n%s", name, want, out)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "quickstart", "total energy cost", "downloaded")
+}
+
+func TestExampleVideoStreaming(t *testing.T) {
+	runExample(t, "videostreaming", "Round-Robin", "LDDM")
+}
+
+func TestExampleDFS(t *testing.T) {
+	runExample(t, "dfs", "per-replica serving plan", "downloaded")
+}
+
+func TestExampleFaultTolerance(t *testing.T) {
+	runExample(t, "faulttolerance", "declared dead", "service continued uninterrupted")
+}
+
+func TestExampleDonarCompare(t *testing.T) {
+	runExample(t, "donarcompare", "DONAR pays on average")
+}
+
+func TestExampleDynamicPricing(t *testing.T) {
+	runExample(t, "dynamicpricing", "day total", "saved")
+}
+
+func TestExampleAlgorithms(t *testing.T) {
+	runExample(t, "algorithms", "LDDM", "CDPSM", "ADMM", "same energy-cost optimum")
+}
+
+func TestExampleSteadyState(t *testing.T) {
+	runExample(t, "steadystate", "LDDM", "Round-Robin", "where")
+}

@@ -1,0 +1,3 @@
+module edr
+
+go 1.22

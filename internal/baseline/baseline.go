@@ -1,0 +1,182 @@
+// Package baseline provides the non-optimizing schedulers the paper
+// compares EDR against — primarily Round-Robin — plus two simple ablation
+// heuristics (greedy cheapest-price and latency-proportional) used by the
+// extended benchmarks.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"edr/internal/opt"
+	"edr/internal/solver"
+)
+
+// RoundRobin splits every client's demand evenly across its latency-
+// feasible replicas, capping at capacity — the paper's baseline method.
+// It is energy- and price-oblivious.
+type RoundRobin struct{}
+
+// Name implements solver.Solver.
+func (RoundRobin) Name() string { return "Round-Robin" }
+
+// Solve implements solver.Solver. The even split is repaired against
+// capacity caps by redistributing overflow round-robin across replicas
+// with headroom, preserving the scheduler's obliviousness to price.
+func (RoundRobin) Solve(prob *opt.Problem) (*solver.Result, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.CheckFeasible(prob); err != nil {
+		return nil, err
+	}
+	x, err := prob.UniformStart()
+	if err != nil {
+		return nil, err
+	}
+	if err := repairCapacity(prob, x); err != nil {
+		return nil, err
+	}
+	return &solver.Result{
+		Assignment: x,
+		Objective:  prob.Cost(x),
+		Iterations: 1,
+		Converged:  true,
+		// Each client tells each feasible replica its share once.
+		Comm: solver.CommStats{Messages: prob.C(), Scalars: prob.C() * prob.N()},
+	}, nil
+}
+
+// GreedyPrice routes every client's full demand to its cheapest feasible
+// replica with headroom, ignoring the polynomial network-energy term — an
+// ablation showing why marginal-cost (not price-only) optimization matters
+// once the cubic term bites.
+type GreedyPrice struct{}
+
+// Name implements solver.Solver.
+func (GreedyPrice) Name() string { return "Greedy-Price" }
+
+// Solve implements solver.Solver.
+func (GreedyPrice) Solve(prob *opt.Problem) (*solver.Result, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.CheckFeasible(prob); err != nil {
+		return nil, err
+	}
+	mask := prob.Allowed()
+	n := prob.N()
+	x := opt.NewMatrix(prob.C(), n)
+	headroom := make([]float64, n)
+	for j := 0; j < n; j++ {
+		headroom[j] = prob.System.Replicas[j].Bandwidth
+	}
+	// Replica indexes in ascending price.
+	byPrice := make([]int, n)
+	for j := range byPrice {
+		byPrice[j] = j
+	}
+	sort.Slice(byPrice, func(a, b int) bool {
+		return prob.System.Replicas[byPrice[a]].Price < prob.System.Replicas[byPrice[b]].Price
+	})
+	for c := range x {
+		remaining := prob.Demands[c]
+		for _, j := range byPrice {
+			if remaining <= 0 {
+				break
+			}
+			if !mask[c][j] || headroom[j] <= 0 {
+				continue
+			}
+			take := remaining
+			if take > headroom[j] {
+				take = headroom[j]
+			}
+			x[c][j] += take
+			headroom[j] -= take
+			remaining -= take
+		}
+		if remaining > 1e-9 {
+			return nil, fmt.Errorf("baseline: greedy-price stranded %g MB for client %d", remaining, c)
+		}
+	}
+	return &solver.Result{
+		Assignment: x,
+		Objective:  prob.Cost(x),
+		Iterations: 1,
+		Converged:  true,
+		Comm:       solver.CommStats{Messages: prob.C(), Scalars: prob.C() * prob.N()},
+	}, nil
+}
+
+// LatencyProportional splits each client's demand across feasible replicas
+// in proportion to inverse latency — a quality-of-service-first heuristic
+// that, like DONAR, never looks at energy prices.
+type LatencyProportional struct{}
+
+// Name implements solver.Solver.
+func (LatencyProportional) Name() string { return "Latency-Proportional" }
+
+// Solve implements solver.Solver.
+func (LatencyProportional) Solve(prob *opt.Problem) (*solver.Result, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.CheckFeasible(prob); err != nil {
+		return nil, err
+	}
+	mask := prob.Allowed()
+	x := opt.NewMatrix(prob.C(), prob.N())
+	for c := range x {
+		total := 0.0
+		for j := range x[c] {
+			if mask[c][j] {
+				total += 1 / (prob.Latency[c][j] + 1e-9)
+			}
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("baseline: client %d has no feasible replica", c)
+		}
+		for j := range x[c] {
+			if mask[c][j] {
+				x[c][j] = prob.Demands[c] * (1 / (prob.Latency[c][j] + 1e-9)) / total
+			}
+		}
+	}
+	if err := repairCapacity(prob, x); err != nil {
+		return nil, err
+	}
+	return &solver.Result{
+		Assignment: x,
+		Objective:  prob.Cost(x),
+		Iterations: 1,
+		Converged:  true,
+		Comm:       solver.CommStats{Messages: prob.C(), Scalars: prob.C() * prob.N()},
+	}, nil
+}
+
+// repairCapacity fixes capacity overflows in an assignment that already
+// satisfies demand/box/mask, by moving overflow from saturated replicas to
+// ones with headroom (cheapest repair that keeps the scheduler's intent).
+// Falls back to the exact feasibility projection when simple moves cannot
+// finish the job.
+func repairCapacity(prob *opt.Problem, x [][]float64) error {
+	if v := capacityOverflow(prob, x); v <= 1e-9 {
+		return nil
+	}
+	if err := opt.ProjectFeasible(prob, x, 1e-6); err != nil {
+		return fmt.Errorf("baseline: capacity repair: %w", err)
+	}
+	return nil
+}
+
+func capacityOverflow(prob *opt.Problem, x [][]float64) float64 {
+	loads := opt.ColSums(x)
+	worst := 0.0
+	for j, load := range loads {
+		if over := load - prob.System.Replicas[j].Bandwidth; over > worst {
+			worst = over
+		}
+	}
+	return worst
+}

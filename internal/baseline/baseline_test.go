@@ -1,0 +1,280 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/central"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+func TestNames(t *testing.T) {
+	if (RoundRobin{}).Name() != "Round-Robin" {
+		t.Fatalf("RoundRobin name = %q", RoundRobin{}.Name())
+	}
+	if (GreedyPrice{}).Name() != "Greedy-Price" {
+		t.Fatalf("GreedyPrice name = %q", GreedyPrice{}.Name())
+	}
+	if (LatencyProportional{}).Name() != "Latency-Proportional" {
+		t.Fatalf("LatencyProportional name = %q", LatencyProportional{}.Name())
+	}
+}
+
+func TestRoundRobinEvenSplit(t *testing.T) {
+	r := sim.NewRand(1)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{
+		Clients: 2, Replicas: 4, Demands: []float64{40, 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RoundRobin{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		if math.Abs(res.Assignment[0][n]-10) > 1e-9 {
+			t.Fatalf("client 0 split = %v, want even 10s", res.Assignment[0])
+		}
+		if math.Abs(res.Assignment[1][n]-5) > 1e-9 {
+			t.Fatalf("client 1 split = %v, want even 5s", res.Assignment[1])
+		}
+	}
+}
+
+func TestRoundRobinPriceOblivious(t *testing.T) {
+	// Identical topologies, wildly different prices: identical assignment.
+	rA := sim.NewRand(7)
+	probA, err := probgen.MustFeasible(rA, probgen.Spec{
+		Clients: 3, Replicas: 3, Prices: []float64{1, 1, 1}, Demands: []float64{30, 20, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB := sim.NewRand(7)
+	probB, err := probgen.MustFeasible(rB, probgen.Spec{
+		Clients: 3, Replicas: 3, Prices: []float64{1, 20, 20}, Demands: []float64{30, 20, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := RoundRobin{}.Solve(probA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := RoundRobin{}.Solve(probB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := opt.Dist(resA.Assignment, resB.Assignment); d > 1e-9 {
+		t.Fatalf("Round-Robin reacted to prices: distance %g", d)
+	}
+}
+
+func TestRoundRobinCostsMoreThanOptimal(t *testing.T) {
+	r := sim.NewRand(11)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{
+		Clients: 6, Replicas: 4, Prices: []float64{1, 18, 2, 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobin{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := central.New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Objective <= ref.Objective {
+		t.Fatalf("Round-Robin %g not above optimum %g under skewed prices", rr.Objective, ref.Objective)
+	}
+}
+
+func TestRoundRobinRespectsMask(t *testing.T) {
+	r := sim.NewRand(13)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 8, Replicas: 5, Geo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RoundRobin{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := prob.Allowed()
+	for c := range res.Assignment {
+		for n, v := range res.Assignment[c] {
+			if !mask[c][n] && v > 1e-9 {
+				t.Fatalf("masked entry [%d][%d] = %g", c, n, v)
+			}
+		}
+	}
+}
+
+func TestRoundRobinCapacityRepair(t *testing.T) {
+	// Demand big enough that even splits overflow one replica's cap when
+	// most clients can only reach it.
+	r := sim.NewRand(17)
+	prob, err := probgen.New(r, probgen.Spec{
+		Clients: 2, Replicas: 2, Demands: []float64{95, 95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 0 can only use replica 0.
+	prob.Latency[0][1] = 1
+	if err := opt.CheckFeasible(prob); err != nil {
+		t.Skip("instance infeasible under mask; skip")
+	}
+	res, err := RoundRobin{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPricePicksCheapest(t *testing.T) {
+	r := sim.NewRand(19)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{
+		Clients: 2, Replicas: 3, Prices: []float64{9, 1, 5}, Demands: []float64{30, 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyPrice{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	loads := opt.ColSums(res.Assignment)
+	if math.Abs(loads[1]-60) > 1e-9 {
+		t.Fatalf("cheapest replica load = %g, want all 60", loads[1])
+	}
+}
+
+func TestGreedyPriceSpillsAtCapacity(t *testing.T) {
+	r := sim.NewRand(23)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{
+		Clients: 2, Replicas: 2, Prices: []float64{1, 20}, Demands: []float64{80, 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GreedyPrice{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := opt.ColSums(res.Assignment)
+	if math.Abs(loads[0]-100) > 1e-9 || math.Abs(loads[1]-60) > 1e-9 {
+		t.Fatalf("loads = %v, want [100 60]", loads)
+	}
+}
+
+func TestLatencyProportionalWeighting(t *testing.T) {
+	r := sim.NewRand(29)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{
+		Clients: 1, Replicas: 2, Demands: []float64{30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob.Latency[0][0] = 0.0004
+	prob.Latency[0][1] = 0.0008 // twice the latency → half the share
+	res, err := LatencyProportional{}.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Assignment[0][0] / res.Assignment[0][1]
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("share ratio = %g, want ~2", ratio)
+	}
+}
+
+func TestAllBaselinesFeasibleOnRandomInstances(t *testing.T) {
+	r := sim.NewRand(31)
+	solvers := []solver.Solver{RoundRobin{}, GreedyPrice{}, LatencyProportional{}}
+	for trial := 0; trial < 10; trial++ {
+		prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 5, Replicas: 4, Geo: trial%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range solvers {
+			res, err := s.Solve(prob)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
+			}
+			if err := solver.Verify(prob, res, 1e-4); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
+			}
+		}
+	}
+}
+
+func TestGreedyPriceStrandedDemand(t *testing.T) {
+	// Client 0 can reach only replica 0 whose capacity is too small even
+	// though the instance would look fine ignoring masks — CheckFeasible
+	// rejects it before the greedy pass runs.
+	r := sim.NewRand(37)
+	prob, err := probgen.New(r, probgen.Spec{
+		Clients: 1, Replicas: 2, Demands: []float64{150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob.Latency[0][1] = 1 // unreachable
+	if _, err := (GreedyPrice{}).Solve(prob); err == nil {
+		t.Fatal("stranded-demand instance accepted")
+	}
+}
+
+func TestLatencyProportionalInvalidProblem(t *testing.T) {
+	r := sim.NewRand(41)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob.MaxLatency = -1
+	if _, err := (LatencyProportional{}).Solve(prob); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	if _, err := (GreedyPrice{}).Solve(prob); err == nil {
+		t.Fatal("invalid problem accepted by greedy")
+	}
+	if _, err := (RoundRobin{}).Solve(prob); err == nil {
+		t.Fatal("invalid problem accepted by round-robin")
+	}
+}
+
+func TestBaselinesOneShotMetadata(t *testing.T) {
+	r := sim.NewRand(43)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 3, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []solver.Solver{RoundRobin{}, GreedyPrice{}, LatencyProportional{}} {
+		res, err := s.Solve(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != 1 || !res.Converged {
+			t.Fatalf("%s: iterations=%d converged=%v, want one-shot", s.Name(), res.Iterations, res.Converged)
+		}
+		if res.Comm.Messages == 0 {
+			t.Fatalf("%s: zero messages accounted", s.Name())
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package cdpsm implements the consensus-based distributed projected
+// subgradient method (paper Algorithm 1, after Nedić, Ozdaglar & Parrilo,
+// "Constrained consensus and optimization in multi-agent networks", IEEE
+// TAC 2010), adapted to the EDR replica-selection problem.
+//
+// Every replica (agent) i keeps its own estimate P^i of the *entire*
+// solution matrix. One iteration per agent:
+//
+//  1. collect the current estimates P^j of all other replicas,
+//  2. consensus:  V^i = Σ_j a_j · P^j   with weights Σ a_j = 1,
+//  3. gradient step on the local objective E_i (which depends only on
+//     column i of P):  P^i ← V^i − d_k · ∇E_i(V^i),
+//  4. projection onto the agent's local constraint set P_i.
+//
+// The local constraint sets used here are
+//
+//	P_i = { P : Σ_n p_{c,n} = R_c ∀c (box/mask) } ∩ { Σ_c p_{c,i} ≤ B_i }
+//
+// — every agent enforces the shared demand constraints plus its *own*
+// capacity; the intersection over all agents is exactly the global
+// feasible region of Eq. 2, the setting in which the N-O-P method
+// provably converges to a common minimizer of Σ_i E_i.
+//
+// Because the objective is differentiable (a degree-γ polynomial), the
+// gradient is used as the subgradient, as the paper notes.
+package cdpsm
+
+import (
+	"fmt"
+	"math"
+
+	"edr/internal/opt"
+	"edr/internal/solver"
+)
+
+// Solver runs CDPSM to convergence on one problem instance, simulating the
+// N cooperating replicas in-process. (The live message-passing deployment
+// of the same iteration is in internal/core; this solver is the
+// algorithmic engine both share.)
+type Solver struct {
+	// Step is the step size d_k; nil means the paper's constant step,
+	// 0.05.
+	Step opt.StepRule
+	// MaxIters bounds consensus iterations; 0 means 3000.
+	MaxIters int
+	// Tol declares convergence when no agent's estimate moved more than
+	// Tol (Frobenius) in one iteration; 0 means 1e-6.
+	Tol float64
+	// Weights are the consensus weights a_j (length |N|, summing to 1).
+	// Nil means uniform 1/|N|. Ignored when Topology is TopologyRing.
+	Weights []float64
+	// ProjectSweeps bounds the Dykstra sweeps per local projection;
+	// 0 means 60 (local projections need not be exact — the method
+	// tolerates inexact projection, and the final result is polished).
+	ProjectSweeps int
+	// Topology selects the gossip pattern. TopologyComplete (default) is
+	// the paper's all-to-all exchange (O(|C|·|N|³) scalars per iteration);
+	// TopologyRing averages only with the two ring neighbors using the
+	// doubly stochastic weights (¼, ½, ¼) — matching EDR's ring structure
+	// and cutting communication to O(|C|·|N|²) at the price of slower
+	// consensus (information diffuses around the ring in O(|N|) steps).
+	Topology Topology
+}
+
+// Topology is a CDPSM gossip pattern.
+type Topology int
+
+const (
+	// TopologyComplete gossips with every other replica each iteration.
+	TopologyComplete Topology = iota
+	// TopologyRing gossips only with the two ring neighbors.
+	TopologyRing
+)
+
+// New returns a CDPSM solver with the defaults above.
+func New() *Solver { return &Solver{} }
+
+// Name implements solver.Solver.
+func (s *Solver) Name() string { return "CDPSM" }
+
+// DefaultStep is the constant step size used when none is configured.
+const DefaultStep = 0.05
+
+func (s *Solver) params(n int) (step opt.StepRule, maxIters int, tol float64, weights []float64, sweeps int, err error) {
+	step = s.Step
+	if step == nil {
+		step = opt.ConstantStep(DefaultStep)
+	}
+	maxIters = s.MaxIters
+	if maxIters <= 0 {
+		maxIters = 3000
+	}
+	tol = s.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	weights = s.Weights
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1 / float64(n)
+		}
+	}
+	if len(weights) != n {
+		return nil, 0, 0, nil, 0, fmt.Errorf("cdpsm: %d weights for %d replicas", len(weights), n)
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, 0, 0, nil, 0, fmt.Errorf("cdpsm: negative consensus weight %g", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, 0, 0, nil, 0, fmt.Errorf("cdpsm: consensus weights sum to %g, want 1", sum)
+	}
+	sweeps = s.ProjectSweeps
+	if sweeps <= 0 {
+		sweeps = 60
+	}
+	return step, maxIters, tol, weights, sweeps, nil
+}
+
+// agentState is one replica's view.
+type agentState struct {
+	estimate [][]float64
+}
+
+// LocalProjection builds agent i's constraint-set projection P_i.
+func LocalProjection(prob *opt.Problem, agent int, sweeps int) opt.SetProjection {
+	mask := prob.Allowed()
+	caps := prob.Caps()
+	rowSet := func(x [][]float64) error {
+		for c := range x {
+			if err := opt.ProjectMaskedCappedSimplex(x[c], caps[c], mask[c], prob.Demands[c]); err != nil {
+				return fmt.Errorf("cdpsm: agent %d client %d: %w", agent, c, err)
+			}
+		}
+		return nil
+	}
+	colSet := func(x [][]float64) error {
+		col := make([]float64, len(x))
+		for c := range x {
+			col[c] = x[c][agent]
+		}
+		opt.ProjectHalfspaceSumLE(col, prob.System.Replicas[agent].Bandwidth)
+		for c := range x {
+			x[c][agent] = col[c]
+		}
+		return nil
+	}
+	return func(x [][]float64) error {
+		_, err := opt.Dykstra(x, []opt.SetProjection{rowSet, colSet}, opt.DykstraOptions{MaxSweeps: sweeps, Tol: 1e-9})
+		return err
+	}
+}
+
+// LocalGradient writes agent i's ∇E_i(v) into g: only column i is nonzero,
+// with value u_i·(α_i + β_i·γ_i·(Σ_c v_{c,i})^{γ_i−1}).
+func LocalGradient(prob *opt.Problem, agent int, v, g [][]float64) {
+	load := 0.0
+	for c := range v {
+		load += v[c][agent]
+	}
+	if load < 0 {
+		load = 0
+	}
+	marginal := prob.System.Replicas[agent].MarginalCost(load)
+	for c := range g {
+		for n := range g[c] {
+			g[c][n] = 0
+		}
+		g[c][agent] = marginal
+	}
+}
+
+// Solve implements solver.Solver.
+func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.CheckFeasible(prob); err != nil {
+		return nil, err
+	}
+	nAgents := prob.N()
+	step, maxIters, tol, weights, sweeps, err := s.params(nAgents)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initialize every agent from the uniform start projected into its
+	// local set (paper line 1: "Set the unit price of replica i" — prices
+	// live in prob; estimates start identical).
+	start, err := prob.UniformStart()
+	if err != nil {
+		return nil, err
+	}
+	agents := make([]agentState, nAgents)
+	projections := make([]opt.SetProjection, nAgents)
+	for i := range agents {
+		agents[i].estimate = opt.Clone(start)
+		projections[i] = LocalProjection(prob, i, sweeps)
+		if err := projections[i](agents[i].estimate); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &solver.Result{}
+	c, n := prob.C(), prob.N()
+	grad := opt.NewMatrix(c, n)
+	consensus := opt.NewMatrix(c, n)
+	next := make([][][]float64, nAgents)
+	for i := range next {
+		next[i] = opt.NewMatrix(c, n)
+	}
+	mats := make([][][]float64, nAgents)
+
+	for k := 1; k <= maxIters; k++ {
+		// Snapshot all estimates (messages: each agent pulls everyone
+		// else's full matrix).
+		for i := range agents {
+			mats[i] = agents[i].estimate
+		}
+		maxMove := 0.0
+		for i := range agents {
+			// Consensus step V^i (Eq. 3). Complete topology: the general
+			// weighted average Σ_j a_j P^j (with uniform weights every
+			// agent computes the same average). Ring topology: the
+			// ¼/½/¼ neighbor average, whose weight matrix is doubly
+			// stochastic over the ring graph.
+			s.consensusFor(i, weights, mats, consensus)
+			// Gradient step on the local objective.
+			LocalGradient(prob, i, consensus, grad)
+			opt.Copy(next[i], consensus)
+			opt.AXPY(next[i], -step(k), grad)
+			// Project onto the local constraint set.
+			if err := projections[i](next[i]); err != nil {
+				return nil, err
+			}
+			if d := opt.Dist(next[i], agents[i].estimate); d > maxMove {
+				maxMove = d
+			}
+		}
+		for i := range agents {
+			opt.Copy(agents[i].estimate, next[i])
+		}
+		// Communication accounting for this iteration (paper §III-D.1):
+		// complete topology has each of the |N| agents receive |N|−1
+		// estimates of |C|·|N| scalars → O(|C|·|N|³) per iteration
+		// system-wide; the ring variant receives only 2.
+		peers := nAgents - 1
+		if s.Topology == TopologyRing && nAgents > 2 {
+			peers = 2
+		}
+		res.Comm.Messages += nAgents * peers
+		res.Comm.Scalars += nAgents * peers * c * n
+		res.Iterations = k
+
+		// Record the objective of the global average estimate (the common
+		// point the agents are converging to).
+		uniformMean(consensus, mats)
+		res.History = append(res.History, prob.Cost(consensus))
+
+		if maxMove <= tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Final solution: the consensus average of the agents' estimates,
+	// polished onto the exact feasible region.
+	for i := range agents {
+		mats[i] = agents[i].estimate
+	}
+	final := opt.NewMatrix(c, n)
+	uniformMean(final, mats)
+	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
+		return nil, fmt.Errorf("cdpsm: final polish: %w", err)
+	}
+	res.Assignment = final
+	res.Objective = prob.Cost(final)
+	return res, nil
+}
+
+// consensusFor computes agent i's consensus average into dst.
+func (s *Solver) consensusFor(i int, weights []float64, mats [][][]float64, dst [][]float64) {
+	n := len(mats)
+	if s.Topology == TopologyRing && n > 2 {
+		prev := mats[(i-1+n)%n]
+		next := mats[(i+1)%n]
+		opt.Fill(dst, 0)
+		opt.AXPY(dst, 0.25, prev)
+		opt.AXPY(dst, 0.5, mats[i])
+		opt.AXPY(dst, 0.25, next)
+		return
+	}
+	opt.Mean(dst, weights, mats...)
+}
+
+// uniformMean averages all estimates with equal weight into dst — the
+// common reference point used for history and the final answer.
+func uniformMean(dst [][]float64, mats [][][]float64) {
+	w := make([]float64, len(mats))
+	for i := range w {
+		w[i] = 1 / float64(len(mats))
+	}
+	opt.Mean(dst, w, mats...)
+}

@@ -1,0 +1,300 @@
+package cdpsm
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/central"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+func TestCDPSMName(t *testing.T) {
+	if New().Name() != "CDPSM" {
+		t.Fatalf("Name = %q", New().Name())
+	}
+}
+
+func TestCDPSMSimpleInstance(t *testing.T) {
+	r := sim.NewRand(3)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 3, Replicas: 3, Prices: []float64{1, 10, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	loads := opt.ColSums(res.Assignment)
+	if loads[0] <= loads[1] {
+		t.Fatalf("cheap replica not preferred: loads = %v", loads)
+	}
+}
+
+func TestCDPSMMatchesCentralizedOptimum(t *testing.T) {
+	r := sim.NewRand(11)
+	for trial := 0; trial < 5; trial++ {
+		prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 4, Replicas: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := New().Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, err := central.New().Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := solver.Verify(prob, cd, 1e-4); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if cd.Objective > ref.Objective*1.06+1e-6 {
+			t.Fatalf("trial %d: CDPSM %.4f vs central %.4f (>6%% gap)", trial, cd.Objective, ref.Objective)
+		}
+	}
+}
+
+func TestCDPSMCommCubicInN(t *testing.T) {
+	r := sim.NewRand(13)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 4, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := res.Comm.Scalars / res.Iterations
+	// |N|·(|N|−1)·|C|·|N| = 3·2·4·3 = 72 scalars per iteration.
+	if perIter != 72 {
+		t.Fatalf("scalars/iteration = %d, want 72 (O(C·N³))", perIter)
+	}
+}
+
+func TestCDPSMSlowerThanLDDMInMessages(t *testing.T) {
+	// The complexity claim of §III-D: per iteration CDPSM moves
+	// |N|² more data than LDDM per client-replica pair.
+	r := sim.NewRand(17)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 5, Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdpsmPerIter := res.Comm.Scalars / res.Iterations
+	lddmPerIter := 2 * prob.C() * prob.N()
+	if cdpsmPerIter <= lddmPerIter {
+		t.Fatalf("CDPSM %d scalars/iter vs LDDM %d: complexity ordering violated", cdpsmPerIter, lddmPerIter)
+	}
+}
+
+func TestCDPSMWeightsValidation(t *testing.T) {
+	r := sim.NewRand(19)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.Weights = []float64{0.5, 0.6} // sums to 1.1
+	if _, err := s.Solve(prob); err == nil {
+		t.Fatal("non-stochastic weights accepted")
+	}
+	s.Weights = []float64{1.5, -0.5}
+	if _, err := s.Solve(prob); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	s.Weights = []float64{1}
+	if _, err := s.Solve(prob); err == nil {
+		t.Fatal("wrong-length weights accepted")
+	}
+}
+
+func TestCDPSMNonUniformWeights(t *testing.T) {
+	r := sim.NewRand(23)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 3, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.Weights = []float64{0.5, 0.3, 0.2}
+	res, err := s.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDPSMInfeasibleRejected(t *testing.T) {
+	r := sim.NewRand(29)
+	prob, err := probgen.New(r, probgen.Spec{Clients: 1, Replicas: 2, Demands: []float64{1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Solve(prob); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestCDPSMHistoryMonotoneTail(t *testing.T) {
+	// The consensus objective should trend downward (allowing early noise
+	// while agents disagree): the last history value must be below the
+	// early maximum.
+	r := sim.NewRand(31)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 4, Replicas: 3, Prices: []float64{2, 9, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 2 {
+		t.Skip("converged immediately")
+	}
+	early := res.History[0]
+	for _, h := range res.History[:len(res.History)/2] {
+		if h > early {
+			early = h
+		}
+	}
+	last := res.History[len(res.History)-1]
+	if last > early+1e-9 {
+		t.Fatalf("objective did not descend: early max %g, final %g", early, last)
+	}
+	for _, h := range res.History {
+		if math.IsNaN(h) {
+			t.Fatal("NaN in history")
+		}
+	}
+}
+
+func TestCDPSMMaskRespected(t *testing.T) {
+	r := sim.NewRand(37)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 6, Replicas: 4, Geo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := prob.Allowed()
+	for c := range res.Assignment {
+		for n, v := range res.Assignment[c] {
+			if !mask[c][n] && v > 1e-9 {
+				t.Fatalf("masked entry [%d][%d] = %g", c, n, v)
+			}
+		}
+	}
+}
+
+func TestLocalGradientOnlyOwnColumn(t *testing.T) {
+	r := sim.NewRand(41)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 3, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prob.UniformStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := opt.NewMatrix(3, 3)
+	LocalGradient(prob, 1, v, g)
+	for c := range g {
+		if g[c][0] != 0 || g[c][2] != 0 {
+			t.Fatalf("gradient leaked outside own column: %v", g[c])
+		}
+		if g[c][1] <= 0 {
+			t.Fatalf("own-column gradient %g not positive", g[c][1])
+		}
+	}
+	// Value matches the analytic marginal at the column-1 load.
+	load := v[0][1] + v[1][1] + v[2][1]
+	want := prob.System.Replicas[1].MarginalCost(load)
+	if math.Abs(g[0][1]-want) > 1e-12 {
+		t.Fatalf("gradient = %g, want %g", g[0][1], want)
+	}
+}
+
+func TestCDPSMRingTopologyConverges(t *testing.T) {
+	r := sim.NewRand(43)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 4, Replicas: 4, Prices: []float64{1, 9, 3, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringSolver := New()
+	ringSolver.Topology = TopologyRing
+	ringSolver.MaxIters = 4000
+	ringRes, err := ringSolver.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, ringRes, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := central.New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ringRes.Objective > ref.Objective*1.06+1e-6 {
+		t.Fatalf("ring CDPSM %.2f vs central %.2f (>6%% gap)", ringRes.Objective, ref.Objective)
+	}
+}
+
+func TestCDPSMRingTopologyCheaperPerIteration(t *testing.T) {
+	r := sim.NewRand(47)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 4, Replicas: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(topo Topology) int {
+		s := New()
+		s.Topology = topo
+		s.MaxIters = 50
+		s.Tol = 1e-12 // force all iterations
+		res, err := s.Solve(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Comm.Scalars / res.Iterations
+	}
+	complete := run(TopologyComplete)
+	ringScalars := run(TopologyRing)
+	// Complete: N(N−1)=30 estimate pulls; ring: 2N=12 per iteration.
+	if ringScalars*2 >= complete {
+		t.Fatalf("ring gossip not cheaper: %d vs %d scalars/iter", ringScalars, complete)
+	}
+}
+
+func TestCDPSMRingTopologySlowerConsensus(t *testing.T) {
+	// Ring diffusion is slower: with the same step and tolerance, ring
+	// gossip needs at least as many iterations as complete gossip.
+	r := sim.NewRand(53)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 3, Replicas: 6, Prices: []float64{1, 12, 2, 9, 4, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := func(topo Topology) int {
+		s := New()
+		s.Topology = topo
+		s.MaxIters = 4000
+		res, err := s.Solve(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Iterations
+	}
+	if ringIters, completeIters := iters(TopologyRing), iters(TopologyComplete); ringIters < completeIters {
+		t.Fatalf("ring consensus converged faster than complete: %d vs %d iterations", ringIters, completeIters)
+	}
+}

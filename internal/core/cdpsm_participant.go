@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"edr/internal/cdpsm"
+	"edr/internal/opt"
+	"edr/internal/transport"
+)
+
+// CDPSM participant side: each replica holds a committed estimate of the
+// full solution. A step message makes it pull every peer's committed
+// estimate (the real O(|N|²) exchange of Algorithm 1), average them with
+// uniform consensus weights, take the local gradient step, project onto
+// its local constraint set, and stage the result. A commit message then
+// promotes the staged estimate, giving the synchronous iteration the
+// initiator drives.
+
+func (r *ReplicaServer) handleCDPSMStep(ctx context.Context, req transport.Message) (transport.Message, error) {
+	var body CDPSMStepBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(body.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+
+	// Pull peers' committed estimates (ReplicaListener traffic).
+	estimates := make([][][]float64, 0, len(st.spec.Replicas))
+	r.mu.Lock()
+	own := opt.Clone(st.committed)
+	r.mu.Unlock()
+	estimates = append(estimates, own)
+	for _, info := range st.spec.Replicas {
+		if info.Addr == r.Addr() {
+			continue
+		}
+		fetch, err := transport.NewMessage(MsgCDPSMEstimate, r.Addr(), CDPSMEstimateBody{Round: body.Round})
+		if err != nil {
+			return transport.Message{}, err
+		}
+		cctx, cancel := context.WithTimeout(ctx, r.cfg.RPCTimeout)
+		resp, err := r.node.Send(cctx, info.Addr, fetch)
+		cancel()
+		r.Stats.CoordMessages.Inc(1)
+		if err != nil {
+			return transport.Message{}, fmt.Errorf("core: cdpsm step: fetch estimate from %s: %w", info.Addr, err)
+		}
+		var er CDPSMEstimateReply
+		if err := resp.DecodeBody(&er); err != nil {
+			return transport.Message{}, err
+		}
+		estimates = append(estimates, er.Estimate)
+	}
+
+	// Consensus average with uniform weights (Eq. 3).
+	c, n := st.prob.C(), st.prob.N()
+	consensus := opt.NewMatrix(c, n)
+	weights := make([]float64, len(estimates))
+	for i := range weights {
+		weights[i] = 1 / float64(len(estimates))
+	}
+	opt.Mean(consensus, weights, estimates...)
+
+	// Local gradient step and projection.
+	grad := opt.NewMatrix(c, n)
+	cdpsm.LocalGradient(st.prob, st.myCol, consensus, grad)
+	next := opt.Clone(consensus)
+	opt.AXPY(next, -body.Step, grad)
+	if err := cdpsm.LocalProjection(st.prob, st.myCol, 60)(next); err != nil {
+		return transport.Message{}, err
+	}
+
+	r.mu.Lock()
+	moved := opt.Dist(next, st.committed)
+	st.staged = next
+	r.mu.Unlock()
+	return transport.NewMessage(MsgCDPSMStep+".ack", r.Addr(), CDPSMStepReply{Moved: moved})
+}
+
+func (r *ReplicaServer) handleCDPSMEstimate(req transport.Message) (transport.Message, error) {
+	var body CDPSMEstimateBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(body.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	r.mu.Lock()
+	est := opt.Clone(st.committed)
+	r.mu.Unlock()
+	return transport.NewMessage(MsgCDPSMEstimate+".ack", r.Addr(), CDPSMEstimateReply{Estimate: est})
+}
+
+func (r *ReplicaServer) handleCDPSMCommit(req transport.Message) (transport.Message, error) {
+	var body CDPSMCommitBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(body.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.staged == nil {
+		return transport.Message{}, fmt.Errorf("core: cdpsm commit round %d with no staged estimate", body.Round)
+	}
+	st.committed = st.staged
+	st.staged = nil
+	return transport.NewMessage(MsgCDPSMCommit+".ack", r.Addr(), nil)
+}

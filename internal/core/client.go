@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"edr/internal/metrics"
+	"edr/internal/transport"
+)
+
+// Client is the EDR client library: it submits requests to a contact
+// replica, participates in LDDM rounds by owning its multiplier μ_c
+// (Algorithm 2 assigns the update task to the clients), receives its final
+// allocation, and downloads the selected bytes from each chosen replica in
+// parallel — the paper's "the client side will create new threads to
+// communicate with all the replicas at the same time".
+type Client struct {
+	node transport.Node
+
+	mu    sync.Mutex
+	mus   map[string]float64 // multiplier per (initiator, round)
+	alloc chan AllocationBody
+
+	// Stats counts client activity.
+	Stats ClientStats
+}
+
+// ClientStats aggregates client-side counters.
+type ClientStats struct {
+	MuUpdates     metrics.Counter
+	Allocations   metrics.Counter
+	BytesReceived metrics.Counter
+}
+
+// NewClient binds a client endpoint on the network.
+func NewClient(network transport.Network, addr string) (*Client, error) {
+	c := &Client{
+		mus:   make(map[string]float64),
+		alloc: make(chan AllocationBody, 64),
+	}
+	node, err := network.Listen(addr, c.handle)
+	if err != nil {
+		return nil, err
+	}
+	c.node = node
+	return c, nil
+}
+
+// Addr returns the client's transport address.
+func (c *Client) Addr() string { return c.node.Name() }
+
+// Close releases the endpoint.
+func (c *Client) Close() error { return c.node.Close() }
+
+func (c *Client) handle(ctx context.Context, req transport.Message) (transport.Message, error) {
+	switch req.Type {
+	case MsgMuUpdate:
+		return c.handleMuUpdate(req)
+	case MsgAllocation:
+		return c.handleAllocation(req)
+	default:
+		return transport.Message{}, fmt.Errorf("core: client %s: unknown message type %q", c.Addr(), req.Type)
+	}
+}
+
+// handleMuUpdate applies μ_c ← μ_c + d·(served − R_c) for one round.
+func (c *Client) handleMuUpdate(req transport.Message) (transport.Message, error) {
+	var body MuUpdateBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	key := fmt.Sprintf("%s/%d", req.From, body.Round)
+	c.mu.Lock()
+	mu := c.mus[key]
+	mu += body.Step * (body.ServedMB - body.DemandMB)
+	c.mus[key] = mu
+	c.mu.Unlock()
+	c.Stats.MuUpdates.Inc(1)
+	return transport.NewMessage(MsgMuUpdate+".ack", c.Addr(), MuUpdateReply{Mu: mu})
+}
+
+// handleAllocation records the round outcome for WaitAllocation.
+func (c *Client) handleAllocation(req transport.Message) (transport.Message, error) {
+	var body AllocationBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	c.Stats.Allocations.Inc(1)
+	select {
+	case c.alloc <- body:
+	default:
+		// Drop rather than block the initiator: a client that stopped
+		// consuming allocations should not stall the fleet.
+	}
+	return transport.NewMessage(MsgAllocation+".ack", c.Addr(), nil)
+}
+
+// Ping measures the round-trip time to a replica by timing a
+// replica.info exchange, returning the estimated one-way latency. Clients
+// use it to build the latency map Submit requires, mirroring the paper's
+// clients measuring their own network view.
+func (c *Client) Ping(ctx context.Context, replicaAddr string) (time.Duration, error) {
+	req, err := transport.NewMessage(MsgReplicaInfo, c.Addr(), nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := c.node.Send(ctx, replicaAddr, req); err != nil {
+		return 0, fmt.Errorf("core: ping %s: %w", replicaAddr, err)
+	}
+	return time.Since(start) / 2, nil
+}
+
+// Submit sends one request to the contact replica. latencies maps replica
+// address → measured one-way latency seconds (the client's view of the
+// network); replicas absent from the map are not candidates.
+func (c *Client) Submit(ctx context.Context, contactReplica string, demandMB float64, latencies map[string]float64) error {
+	body := RequestBody{ClientAddr: c.Addr(), DemandMB: demandMB, LatencySec: latencies}
+	req, err := transport.NewMessage(MsgClientRequest, c.Addr(), body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.node.Send(ctx, contactReplica, req)
+	if err != nil {
+		return fmt.Errorf("core: submit to %s: %w", contactReplica, err)
+	}
+	var ack RequestAck
+	if err := resp.DecodeBody(&ack); err != nil {
+		return err
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("core: replica %s rejected request", contactReplica)
+	}
+	return nil
+}
+
+// WaitAllocation blocks until the next allocation arrives or ctx ends.
+func (c *Client) WaitAllocation(ctx context.Context) (AllocationBody, error) {
+	select {
+	case body := <-c.alloc:
+		return body, nil
+	case <-ctx.Done():
+		return AllocationBody{}, ctx.Err()
+	}
+}
+
+// Download fetches the allocated bytes from every selected replica in
+// parallel and returns the total payload size received.
+func (c *Client) Download(ctx context.Context, alloc AllocationBody) (int, error) {
+	type result struct {
+		n   int
+		err error
+	}
+	results := make(chan result, len(alloc.PerReplicaMB))
+	for addr, sizeMB := range alloc.PerReplicaMB {
+		go func(addr string, sizeMB float64) {
+			req, err := transport.NewMessage(MsgDownload, c.Addr(), DownloadBody{Round: alloc.Round, SizeMB: sizeMB})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			resp, err := c.node.Send(ctx, addr, req)
+			if err != nil {
+				results <- result{err: fmt.Errorf("core: download from %s: %w", addr, err)}
+				return
+			}
+			var reply DownloadReply
+			if err := resp.DecodeBody(&reply); err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{n: len(reply.Payload)}
+		}(addr, sizeMB)
+	}
+	total := 0
+	var firstErr error
+	for range alloc.PerReplicaMB {
+		res := <-results
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		total += res.n
+	}
+	c.Stats.BytesReceived.Inc(int64(total))
+	return total, firstErr
+}

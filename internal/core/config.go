@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edr/internal/model"
+)
+
+// Algorithm selects the distributed optimization method a replica fleet
+// runs during scheduling rounds.
+type Algorithm int
+
+const (
+	// LDDM is the Lagrangian dual decomposition method (Algorithm 2).
+	LDDM Algorithm = iota
+	// CDPSM is the consensus-based distributed projected subgradient
+	// method (Algorithm 1).
+	CDPSM
+	// ADMM is the sharing-form alternating direction method of
+	// multipliers — this module's extension algorithm (internal/admm):
+	// LDDM-grade O(|C|·|N|) communication with proximal damping.
+	ADMM
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case LDDM:
+		return "LDDM"
+	case CDPSM:
+		return "CDPSM"
+	case ADMM:
+		return "ADMM"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a figure label back to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "LDDM", "lddm":
+		return LDDM, nil
+	case "CDPSM", "cdpsm":
+		return CDPSM, nil
+	case "ADMM", "admm":
+		return ADMM, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q (want LDDM, CDPSM or ADMM)", s)
+	}
+}
+
+// ReplicaConfig parameterizes one replica server.
+type ReplicaConfig struct {
+	// Replica carries the energy-model parameters this node reports to
+	// round initiators (price, α, β, γ, bandwidth).
+	Replica model.Replica
+	// Algorithm selects LDDM or CDPSM for rounds this replica initiates.
+	Algorithm Algorithm
+	// MaxLatencySec is T for rounds this replica initiates; 0 means the
+	// paper default 1.8 ms.
+	MaxLatencySec float64
+	// MaxIters bounds distributed iterations per round; 0 means 200 (live
+	// rounds favor latency; the in-process engines run longer).
+	MaxIters int
+	// Tol is the round convergence tolerance; 0 means 0.02 relative
+	// demand residual for LDDM, 1e-4 movement for CDPSM.
+	Tol float64
+	// RPCTimeout bounds each coordination message; 0 means 3s.
+	RPCTimeout time.Duration
+	// BytesPerMB scales download payloads (synthetic content);
+	// 0 means 1024 (1 KiB per MB) so tests and demos stay fast.
+	// Set to 1<<20 for full-size transfers.
+	BytesPerMB int
+	// RoundRetries bounds automatic round restarts after member failures;
+	// 0 means 3.
+	RoundRetries int
+}
+
+func (c *ReplicaConfig) withDefaults() ReplicaConfig {
+	out := *c
+	if out.MaxLatencySec <= 0 {
+		out.MaxLatencySec = 0.0018
+	}
+	if out.MaxIters <= 0 {
+		out.MaxIters = 200
+	}
+	if out.RPCTimeout <= 0 {
+		out.RPCTimeout = 3 * time.Second
+	}
+	if out.BytesPerMB <= 0 {
+		out.BytesPerMB = 1024
+	}
+	if out.RoundRetries <= 0 {
+		out.RoundRetries = 3
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"edr/internal/model"
+	"edr/internal/opt"
+	"edr/internal/transport"
+)
+
+func TestCDPSMRoundSurvivesReplicaFailure(t *testing.T) {
+	f := newFleet(t, []float64{1, 4, 9}, 2, CDPSM)
+	ctx := context.Background()
+	for _, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), 25, f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.net.Crash(f.replicas[1].Addr())
+	report, err := f.replicas[0].RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Restarts == 0 {
+		t.Fatal("no restart recorded after CDPSM member failure")
+	}
+	if len(report.ReplicaAddrs) != 2 {
+		t.Fatalf("round used %d replicas, want 2 survivors", len(report.ReplicaAddrs))
+	}
+	rows := opt.RowSums(report.Assignment)
+	for i, r := range rows {
+		if math.Abs(r-25) > 0.2 {
+			t.Fatalf("client %d served %g, want 25", i, r)
+		}
+	}
+}
+
+func TestRoundSurvivesClientFailureAfterSubmit(t *testing.T) {
+	// A client that dies after submitting must not poison the round for
+	// the others: μ updates to it fail, which aborts LDDM for that round —
+	// but the dead client is not a ring member, so the round error
+	// surfaces rather than deadlocks. With CDPSM (no client participation
+	// in the iteration), the round completes and only the dead client's
+	// allocation notification is lost.
+	f := newFleet(t, []float64{1, 5}, 2, CDPSM)
+	ctx := context.Background()
+	for _, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), 15, f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.net.Crash(f.clients[1].Addr())
+	report, err := f.replicas[0].RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving client still gets its allocation.
+	wctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if _, err := f.clients[0].WaitAllocation(wctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.ClientAddrs) != 2 {
+		t.Fatalf("round dropped a client row: %v", report.ClientAddrs)
+	}
+}
+
+func TestLDDMRoundClientFailureSurfacesError(t *testing.T) {
+	f := newFleet(t, []float64{1, 5}, 2, LDDM)
+	ctx := context.Background()
+	for _, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), 15, f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.net.Crash(f.clients[1].Addr())
+	if _, err := f.replicas[0].RunRound(ctx); err == nil {
+		t.Fatal("LDDM round succeeded despite a dead μ-owning client")
+	}
+}
+
+func TestConsecutiveRoundsIndependent(t *testing.T) {
+	f := newFleet(t, []float64{2, 7}, 1, LDDM)
+	ctx := context.Background()
+	for round := 1; round <= 3; round++ {
+		if err := f.clients[0].Submit(ctx, f.replicas[0].Addr(), float64(10*round), f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+		report, err := f.replicas[0].RunRound(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Round != round {
+			t.Fatalf("round id = %d, want %d", report.Round, round)
+		}
+		rows := opt.RowSums(report.Assignment)
+		if math.Abs(rows[0]-float64(10*round)) > 0.1 {
+			t.Fatalf("round %d served %g, want %d", round, rows[0], 10*round)
+		}
+		wctx, cancel := context.WithTimeout(ctx, time.Second)
+		alloc, err := f.clients[0].WaitAllocation(wctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Round != round {
+			t.Fatalf("allocation round = %d, want %d", alloc.Round, round)
+		}
+	}
+}
+
+func TestRoundStatsAccounting(t *testing.T) {
+	f := newFleet(t, []float64{1, 3}, 2, LDDM)
+	ctx := context.Background()
+	for _, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), 20, f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.replicas[0].RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	init := &f.replicas[0].Stats
+	if init.RequestsReceived.Value() != 2 {
+		t.Fatalf("RequestsReceived = %d", init.RequestsReceived.Value())
+	}
+	if init.RoundsInitiated.Value() != 1 {
+		t.Fatalf("RoundsInitiated = %d", init.RoundsInitiated.Value())
+	}
+	if init.CoordMessages.Value() == 0 {
+		t.Fatal("initiator sent no coordination messages")
+	}
+	// Download accounting.
+	for _, cl := range f.clients {
+		wctx, cancel := context.WithTimeout(ctx, time.Second)
+		alloc, err := cl.WaitAllocation(wctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Download(ctx, alloc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served := int64(0)
+	for _, rs := range f.replicas {
+		served += rs.Stats.DownloadsServed.Value()
+	}
+	if served == 0 {
+		t.Fatal("no downloads served")
+	}
+}
+
+func TestDownloadPayloadScale(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"ra", "rb"}
+	cfg := ReplicaConfig{
+		Replica:    modelReplica(1),
+		Algorithm:  LDDM,
+		BytesPerMB: 10, // tiny scale for the test
+	}
+	ra, err := NewReplicaServer(net, "ra", names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	cfgB := cfg
+	cfgB.Replica = modelReplica(5)
+	rb, err := NewReplicaServer(net, "rb", names, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	cl, err := NewClient(net, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	lat := map[string]float64{"ra": 0.0005, "rb": 0.0005}
+	if err := cl.Submit(ctx, "ra", 12, lat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := cl.WaitAllocation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.Download(ctx, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 MB at 10 bytes/MB ≈ 120 bytes (± rounding per replica split).
+	if n < 100 || n > 130 {
+		t.Fatalf("payload = %d bytes, want ≈120 at 10 B/MB", n)
+	}
+}
+
+func TestReplicaRejectsUnknownMessageType(t *testing.T) {
+	f := newFleet(t, []float64{1}, 1, LDDM)
+	node, err := f.net.Listen("prober", func(ctx context.Context, m transport.Message) (transport.Message, error) {
+		return transport.Message{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	_, err = node.Send(context.Background(), f.replicas[0].Addr(), transport.Message{Type: "bogus.type"})
+	if err == nil {
+		t.Fatal("bogus message type accepted")
+	}
+}
+
+func TestClientRejectsUnknownMessageType(t *testing.T) {
+	f := newFleet(t, []float64{1}, 1, LDDM)
+	node, err := f.net.Listen("prober", func(ctx context.Context, m transport.Message) (transport.Message, error) {
+		return transport.Message{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := node.Send(context.Background(), f.clients[0].Addr(), transport.Message{Type: "bogus"}); err == nil {
+		t.Fatal("bogus message type accepted by client")
+	}
+}
+
+func TestPingMeasuresLatency(t *testing.T) {
+	f := newFleet(t, []float64{1}, 1, LDDM)
+	d, err := f.clients[0].Ping(context.Background(), f.replicas[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 {
+		t.Fatalf("negative latency %v", d)
+	}
+	if _, err := f.clients[0].Ping(context.Background(), "ghost"); err == nil {
+		t.Fatal("ping to ghost succeeded")
+	}
+}
+
+// modelReplica builds a minimal valid replica for config tests.
+func modelReplica(price float64) model.Replica {
+	return model.NewReplica("r", price)
+}

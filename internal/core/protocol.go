@@ -1,0 +1,199 @@
+// Package core is the EDR runtime: the replica server with its
+// ClientListener / ReplicaListener / FileDownload roles, the client
+// library, and the distributed scheduling rounds that run the LDDM and
+// CDPSM iterations over real message passing (paper §III-B/C).
+//
+// A scheduling round works as follows. Clients submit requests (demand +
+// measured latencies) to any replica. The replica holding pending requests
+// initiates a round: it collects every ring member's model parameters,
+// builds the optimization instance, and drives synchronous algorithm
+// iterations over the fabric — for LDDM, each replica solves its local
+// water-filling problem and each *client* updates its own multiplier μ_c
+// (exactly the division of labor in Algorithm 2); for CDPSM, each replica
+// keeps a full-solution estimate and exchanges it with every other replica
+// each iteration (Algorithm 1). The final assignment is installed on the
+// replicas and pushed to the clients, which then download their bytes from
+// the selected replicas in parallel. Replica failures at any point are
+// handled by the ring monitor: the dead member is pruned, survivors are
+// notified, and the round restarts on the new ring.
+package core
+
+// Message types of the EDR wire protocol.
+const (
+	// MsgClientRequest is client → replica: submit a demand.
+	MsgClientRequest = "client.request"
+	// MsgReplicaInfo is initiator → replica: fetch model parameters.
+	MsgReplicaInfo = "replica.info"
+	// MsgRoundStart is initiator → replica: install a round's problem.
+	MsgRoundStart = "round.start"
+	// MsgLocalSolve is initiator → replica: run one LDDM local solve.
+	MsgLocalSolve = "replica.localsolve"
+	// MsgMuUpdate is initiator → client: apply one multiplier update.
+	MsgMuUpdate = "client.muupdate"
+	// MsgADMMProx is initiator → replica: solve one ADMM proximal
+	// subproblem against the shipped target.
+	MsgADMMProx = "replica.admm.prox"
+	// MsgCDPSMStep is initiator → replica: compute one consensus step.
+	MsgCDPSMStep = "replica.cdpsm.step"
+	// MsgCDPSMEstimate is replica → replica: fetch a peer's committed
+	// estimate.
+	MsgCDPSMEstimate = "replica.cdpsm.estimate"
+	// MsgCDPSMCommit is initiator → replica: commit the pending estimate.
+	MsgCDPSMCommit = "replica.cdpsm.commit"
+	// MsgAssign is initiator → replica: install the final assignment.
+	MsgAssign = "replica.assign"
+	// MsgAllocation is initiator → client: deliver the final allocation.
+	MsgAllocation = "client.allocation"
+	// MsgDownload is client → replica: fetch the selected bytes.
+	MsgDownload = "download.request"
+)
+
+// ReplicaInfo carries one replica's energy-model parameters (Table I) to
+// the round initiator.
+type ReplicaInfo struct {
+	Addr      string  `json:"addr"`
+	Price     float64 `json:"price"`
+	Alpha     float64 `json:"alpha"`
+	Beta      float64 `json:"beta"`
+	Gamma     float64 `json:"gamma"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// RequestBody is the client.request payload.
+type RequestBody struct {
+	// ClientAddr is the client's transport address (for μ updates,
+	// allocation delivery).
+	ClientAddr string `json:"client_addr"`
+	// DemandMB is R_c for this request.
+	DemandMB float64 `json:"demand_mb"`
+	// LatencySec maps replica address → measured one-way latency.
+	LatencySec map[string]float64 `json:"latency_sec"`
+}
+
+// RequestAck acknowledges a submission.
+type RequestAck struct {
+	// Accepted reports queue admission.
+	Accepted bool `json:"accepted"`
+	// Pending is the initiator's queue depth after admission.
+	Pending int `json:"pending"`
+}
+
+// RoundSpec ships the full problem of one round to every replica.
+type RoundSpec struct {
+	// Round is the initiator-local round number.
+	Round int `json:"round"`
+	// Replicas lists the participating replicas in column order.
+	Replicas []ReplicaInfo `json:"replicas"`
+	// ClientAddrs lists the participating clients in row order.
+	ClientAddrs []string `json:"client_addrs"`
+	// Demands holds R_c per client (row order).
+	Demands []float64 `json:"demands"`
+	// LatencySec is the client×replica latency matrix.
+	LatencySec [][]float64 `json:"latency_sec"`
+	// MaxLatencySec is T.
+	MaxLatencySec float64 `json:"max_latency_sec"`
+}
+
+// LocalSolveBody asks a replica for one LDDM local solution.
+type LocalSolveBody struct {
+	Round int       `json:"round"`
+	Iter  int       `json:"iter"`
+	Mu    []float64 `json:"mu"`
+}
+
+// LocalSolveReply returns the replica's column {p_{c,n}}.
+type LocalSolveReply struct {
+	Column []float64 `json:"column"`
+}
+
+// MuUpdateBody asks a client to update its multiplier (Algorithm 2,
+// line 6: the update task "is assigned to the clients").
+type MuUpdateBody struct {
+	Round    int     `json:"round"`
+	Iter     int     `json:"iter"`
+	ServedMB float64 `json:"served_mb"`
+	DemandMB float64 `json:"demand_mb"`
+	Step     float64 `json:"step"`
+}
+
+// MuUpdateReply returns the client's new μ_c.
+type MuUpdateReply struct {
+	Mu float64 `json:"mu"`
+}
+
+// ADMMProxBody asks a replica for one proximal solve (see internal/admm):
+// the replica minimizes E_n(Σz) + (ρ/2)‖z − Target‖² over its local set.
+type ADMMProxBody struct {
+	Round  int       `json:"round"`
+	Iter   int       `json:"iter"`
+	Rho    float64   `json:"rho"`
+	Target []float64 `json:"target"`
+}
+
+// ADMMProxReply returns the proximal column.
+type ADMMProxReply struct {
+	Column []float64 `json:"column"`
+}
+
+// CDPSMStepBody asks a replica to run one consensus step: fetch all peer
+// estimates, average, take the local gradient step, project, and stage the
+// result (uncommitted).
+type CDPSMStepBody struct {
+	Round int     `json:"round"`
+	Iter  int     `json:"iter"`
+	Step  float64 `json:"step"`
+}
+
+// CDPSMStepReply reports how far the staged estimate moved.
+type CDPSMStepReply struct {
+	Moved float64 `json:"moved"`
+}
+
+// CDPSMEstimateBody fetches a peer's committed estimate for a round.
+type CDPSMEstimateBody struct {
+	Round int `json:"round"`
+}
+
+// CDPSMEstimateReply carries the flattened estimate (row-major C×N).
+type CDPSMEstimateReply struct {
+	Estimate [][]float64 `json:"estimate"`
+}
+
+// CDPSMCommitBody promotes the staged estimate to committed.
+type CDPSMCommitBody struct {
+	Round int `json:"round"`
+	Iter  int `json:"iter"`
+}
+
+// AssignBody installs the final per-replica serving plan.
+type AssignBody struct {
+	Round int `json:"round"`
+	// Column[c] is the MB this replica serves to client c (row order of
+	// the round spec).
+	Column []float64 `json:"column"`
+	// ClientAddrs mirrors the round spec's row order.
+	ClientAddrs []string `json:"client_addrs"`
+}
+
+// AllocationBody tells a client how its demand was split.
+type AllocationBody struct {
+	Round int `json:"round"`
+	// PerReplicaMB maps replica address → MB to download from it.
+	PerReplicaMB map[string]float64 `json:"per_replica_mb"`
+	// Algorithm names the method that produced the split.
+	Algorithm string `json:"algorithm"`
+	// Iterations is how many distributed iterations the round ran.
+	Iterations int `json:"iterations"`
+}
+
+// DownloadBody requests bytes from a replica.
+type DownloadBody struct {
+	Round  int     `json:"round"`
+	SizeMB float64 `json:"size_mb"`
+}
+
+// DownloadReply carries the (scale-reduced) payload.
+type DownloadReply struct {
+	// Payload is synthetic content, BytesPerMB per requested MB.
+	Payload []byte `json:"payload"`
+}

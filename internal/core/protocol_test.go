@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"edr/internal/transport"
+)
+
+// rawSeq disambiguates prober node names across sendRaw calls.
+var rawSeq int
+
+// sendRaw delivers an arbitrary message to a fleet member.
+func sendRaw(t *testing.T, f *fleet, to string, msgType string, body any) (transport.Message, error) {
+	t.Helper()
+	rawSeq++
+	name := fmt.Sprintf("raw-%d-%s", rawSeq, msgType)
+	node, err := f.net.Listen(name, func(ctx context.Context, m transport.Message) (transport.Message, error) {
+		return transport.Message{Type: "ok"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	msg, err := transport.NewMessage(msgType, node.Name(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node.Send(context.Background(), to, msg)
+}
+
+func TestProtocolRejectsMalformedBodies(t *testing.T) {
+	f := newFleet(t, []float64{1, 2}, 1, LDDM)
+	addr := f.replicas[0].Addr()
+	cases := []struct {
+		msgType string
+		body    any
+	}{
+		{MsgClientRequest, "not an object"},
+		{MsgClientRequest, RequestBody{}},                 // empty addr/demand
+		{MsgClientRequest, RequestBody{ClientAddr: "x"}},  // zero demand
+		{MsgRoundStart, "garbage"},                        // undecodable
+		{MsgRoundStart, RoundSpec{Round: 1}},              // empty spec
+		{MsgLocalSolve, LocalSolveBody{Round: 99}},        // unknown round
+		{MsgCDPSMStep, CDPSMStepBody{Round: 99}},          // unknown round
+		{MsgCDPSMEstimate, CDPSMEstimateBody{Round: 99}},  // unknown round
+		{MsgCDPSMCommit, CDPSMCommitBody{Round: 99}},      // unknown round
+		{MsgAssign, AssignBody{Round: 99}},                // unknown round
+		{MsgDownload, DownloadBody{Round: 1, SizeMB: -5}}, // negative size
+		{MsgAllocation, nil},                              // replicas don't take allocations
+	}
+	for _, tc := range cases {
+		if _, err := sendRaw(t, f, addr, tc.msgType, tc.body); err == nil {
+			t.Errorf("%s with body %v accepted", tc.msgType, tc.body)
+		}
+	}
+}
+
+func TestCDPSMCommitWithoutStageRejected(t *testing.T) {
+	f := newFleet(t, []float64{1, 2}, 1, CDPSM)
+	ctx := context.Background()
+	if err := f.clients[0].Submit(ctx, f.replicas[0].Addr(), 10, f.uniformLatencies()); err != nil {
+		t.Fatal(err)
+	}
+	// Run a legitimate round so round 1 state exists on replica 2.
+	if _, err := f.replicas[0].RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A commit for an iteration that staged nothing must fail.
+	if _, err := sendRaw(t, f, f.replicas[1].Addr(), MsgCDPSMCommit, CDPSMCommitBody{Round: 1, Iter: 99}); err == nil {
+		t.Error("commit without staged estimate accepted")
+	}
+}
+
+func TestLocalSolveMultiplierLengthChecked(t *testing.T) {
+	f := newFleet(t, []float64{1, 2}, 2, LDDM)
+	ctx := context.Background()
+	for _, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), 10, f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.replicas[0].RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 had two clients; a 1-multiplier solve must be rejected.
+	body := LocalSolveBody{Round: 1, Iter: 1, Mu: []float64{0}}
+	if _, err := sendRaw(t, f, f.replicas[1].Addr(), MsgLocalSolve, body); err == nil {
+		t.Error("short multiplier vector accepted")
+	}
+}
+
+func TestSpecProblemRejectsBadSpecs(t *testing.T) {
+	good := RoundSpec{
+		Round: 1,
+		Replicas: []ReplicaInfo{
+			{Addr: "a", Price: 1, Alpha: 1, Beta: 0.01, Gamma: 3, Bandwidth: 100},
+		},
+		ClientAddrs:   []string{"c1"},
+		Demands:       []float64{10},
+		LatencySec:    [][]float64{{0.0005}},
+		MaxLatencySec: 0.0018,
+	}
+	if _, err := specProblem(&good); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := good
+	bad.Replicas = nil
+	if _, err := specProblem(&bad); err == nil {
+		t.Error("empty replica list accepted")
+	}
+
+	bad = good
+	bad.Demands = []float64{-1}
+	if _, err := specProblem(&bad); err == nil {
+		t.Error("negative demand accepted")
+	}
+
+	bad = good
+	bad.Replicas = []ReplicaInfo{{Addr: "a", Price: 1, Alpha: 1, Beta: 0.01, Gamma: 0.5, Bandwidth: 100}}
+	if _, err := specProblem(&bad); err == nil {
+		t.Error("gamma < 1 accepted")
+	}
+
+	bad = good
+	bad.MaxLatencySec = 0
+	if _, err := specProblem(&bad); err == nil {
+		t.Error("zero latency bound accepted")
+	}
+}
+
+func TestPlanUnknownRound(t *testing.T) {
+	f := newFleet(t, []float64{1}, 1, LDDM)
+	if got := f.replicas[0].Plan(42, "nobody"); got != 0 {
+		t.Fatalf("Plan(unknown) = %g", got)
+	}
+}
+
+func TestRoundStartForUnlistedReplicaRejected(t *testing.T) {
+	f := newFleet(t, []float64{1, 2}, 1, LDDM)
+	spec := RoundSpec{
+		Round: 7,
+		Replicas: []ReplicaInfo{
+			{Addr: "someone-else", Price: 1, Alpha: 1, Beta: 0.01, Gamma: 3, Bandwidth: 100},
+		},
+		ClientAddrs:   []string{"c1"},
+		Demands:       []float64{10},
+		LatencySec:    [][]float64{{0.0005}},
+		MaxLatencySec: 0.0018,
+	}
+	if _, err := sendRaw(t, f, f.replicas[0].Addr(), MsgRoundStart, spec); err == nil {
+		t.Error("round start without this replica in the column list accepted")
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"edr/internal/admm"
+	"edr/internal/lddm"
+	"edr/internal/metrics"
+	"edr/internal/model"
+	"edr/internal/opt"
+	"edr/internal/ring"
+	"edr/internal/transport"
+)
+
+// ReplicaServer is one EDR replica: it listens for client requests
+// (ClientListener role), exchanges solution state with peer replicas
+// (ReplicaListener role), serves downloads (FileDownload role), initiates
+// scheduling rounds over its pending requests, and participates in the
+// ring fault-tolerance protocol.
+type ReplicaServer struct {
+	cfg  ReplicaConfig
+	node transport.Node
+	ring *ring.Ring
+	mon  *ring.Monitor
+
+	mu       sync.Mutex
+	pending  map[string]*RequestBody // keyed by client address, demand aggregated
+	rounds   map[int]*roundState     // participant-side state, keyed by round id
+	roundSeq int
+
+	// Stats are exported runtime counters.
+	Stats ReplicaStats
+}
+
+// ReplicaStats aggregates a replica's runtime activity.
+type ReplicaStats struct {
+	RequestsReceived metrics.Counter
+	RoundsInitiated  metrics.Counter
+	RoundsRestarted  metrics.Counter
+	DownloadsServed  metrics.Counter
+	MBServed         metrics.Counter // whole MB, rounded down per download
+	CoordMessages    metrics.Counter // coordination messages this node sent
+}
+
+// roundState is the participant-side view of one round.
+type roundState struct {
+	spec    RoundSpec
+	prob    *opt.Problem
+	myCol   int
+	myLocal *lddm.LocalProblem
+
+	// CDPSM estimate state.
+	committed [][]float64
+	staged    [][]float64
+
+	// Final plan: MB to serve per client address.
+	plan map[string]float64
+}
+
+// NewReplicaServer binds a replica server on the given network address.
+// members must include this replica's own address; it seeds the ring.
+func NewReplicaServer(network transport.Network, addr string, members []string, cfg ReplicaConfig) (*ReplicaServer, error) {
+	if err := cfg.Replica.Validate(); err != nil {
+		return nil, err
+	}
+	r := &ReplicaServer{
+		cfg:     cfg.withDefaults(),
+		pending: make(map[string]*RequestBody),
+		rounds:  make(map[int]*roundState),
+	}
+	node, err := network.Listen(addr, r.handle)
+	if err != nil {
+		return nil, err
+	}
+	r.node = node
+	all := append([]string{}, members...)
+	all = append(all, node.Name())
+	r.ring = ring.New(all)
+	r.mon = &ring.Monitor{
+		Self: node.Name(),
+		Ring: r.ring,
+		Node: node,
+	}
+	return r, nil
+}
+
+// Addr returns the replica's transport address.
+func (r *ReplicaServer) Addr() string { return r.node.Name() }
+
+// Ring returns the replica's membership view.
+func (r *ReplicaServer) Ring() *ring.Ring { return r.ring }
+
+// Monitor returns the ring heartbeat monitor so owners can Start/Stop it
+// or drive Beat manually in tests.
+func (r *ReplicaServer) Monitor() *ring.Monitor { return r.mon }
+
+// Close shuts the replica down.
+func (r *ReplicaServer) Close() error {
+	r.mon.Stop()
+	return r.node.Close()
+}
+
+// PendingRequests reports the current queue depth.
+func (r *ReplicaServer) PendingRequests() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// handle routes every incoming message.
+func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (transport.Message, error) {
+	switch req.Type {
+	case MsgClientRequest:
+		return r.handleClientRequest(req)
+	case MsgReplicaInfo:
+		return r.handleReplicaInfo(req)
+	case MsgRoundStart:
+		return r.handleRoundStart(req)
+	case MsgLocalSolve:
+		return r.handleLocalSolve(req)
+	case MsgADMMProx:
+		return r.handleADMMProx(req)
+	case MsgCDPSMStep:
+		return r.handleCDPSMStep(ctx, req)
+	case MsgCDPSMEstimate:
+		return r.handleCDPSMEstimate(req)
+	case MsgCDPSMCommit:
+		return r.handleCDPSMCommit(req)
+	case MsgAssign:
+		return r.handleAssign(req)
+	case MsgDownload:
+		return r.handleDownload(req)
+	case ring.HeartbeatType:
+		return r.mon.HandleHeartbeat(req)
+	case ring.DeathType:
+		return r.mon.HandleDeath(req)
+	default:
+		return transport.Message{}, fmt.Errorf("core: replica %s: unknown message type %q", r.Addr(), req.Type)
+	}
+}
+
+// handleClientRequest queues a client's demand (ClientListener role).
+// Repeat submissions from the same client before a round runs are
+// aggregated into one row, as one scheduling window would see them.
+func (r *ReplicaServer) handleClientRequest(req transport.Message) (transport.Message, error) {
+	var body RequestBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	if body.ClientAddr == "" || body.DemandMB <= 0 {
+		return transport.Message{}, fmt.Errorf("core: bad request from %s: addr=%q demand=%g", req.From, body.ClientAddr, body.DemandMB)
+	}
+	r.mu.Lock()
+	if existing, ok := r.pending[body.ClientAddr]; ok {
+		existing.DemandMB += body.DemandMB
+		for addr, l := range body.LatencySec {
+			existing.LatencySec[addr] = l
+		}
+	} else {
+		r.pending[body.ClientAddr] = &body
+	}
+	depth := len(r.pending)
+	r.mu.Unlock()
+	r.Stats.RequestsReceived.Inc(1)
+	return transport.NewMessage(MsgClientRequest+".ack", r.Addr(), RequestAck{Accepted: true, Pending: depth})
+}
+
+// handleReplicaInfo reports this replica's model parameters.
+func (r *ReplicaServer) handleReplicaInfo(req transport.Message) (transport.Message, error) {
+	rep := r.cfg.Replica
+	return transport.NewMessage(MsgReplicaInfo+".ack", r.Addr(), ReplicaInfo{
+		Addr:      r.Addr(),
+		Price:     rep.Price,
+		Alpha:     rep.Alpha,
+		Beta:      rep.Beta,
+		Gamma:     rep.Gamma,
+		Bandwidth: rep.Bandwidth,
+	})
+}
+
+// specProblem reconstructs the optimization instance a RoundSpec describes.
+func specProblem(spec *RoundSpec) (*opt.Problem, error) {
+	replicas := make([]model.Replica, len(spec.Replicas))
+	for j, info := range spec.Replicas {
+		replicas[j] = model.Replica{
+			Name:      info.Addr,
+			Price:     info.Price,
+			Alpha:     info.Alpha,
+			Beta:      info.Beta,
+			Gamma:     info.Gamma,
+			Bandwidth: info.Bandwidth,
+		}
+	}
+	sys, err := model.NewSystem(replicas)
+	if err != nil {
+		return nil, err
+	}
+	prob := &opt.Problem{
+		System:     sys,
+		Demands:    spec.Demands,
+		Latency:    spec.LatencySec,
+		MaxLatency: spec.MaxLatencySec,
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	return prob, nil
+}
+
+// handleRoundStart installs a round's problem (participant side).
+func (r *ReplicaServer) handleRoundStart(req transport.Message) (transport.Message, error) {
+	var spec RoundSpec
+	if err := req.DecodeBody(&spec); err != nil {
+		return transport.Message{}, err
+	}
+	prob, err := specProblem(&spec)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	myCol := -1
+	for j, info := range spec.Replicas {
+		if info.Addr == r.Addr() {
+			myCol = j
+			break
+		}
+	}
+	if myCol < 0 {
+		return transport.Message{}, fmt.Errorf("core: replica %s not listed in round %d", r.Addr(), spec.Round)
+	}
+	mask := prob.Allowed()
+	allowed := make([]bool, prob.C())
+	for c := range allowed {
+		allowed[c] = mask[c][myCol]
+	}
+	st := &roundState{
+		spec:  spec,
+		prob:  prob,
+		myCol: myCol,
+		myLocal: &lddm.LocalProblem{
+			Replica: prob.System.Replicas[myCol],
+			Demands: prob.Demands,
+			Allowed: allowed,
+		},
+	}
+	// CDPSM needs an initial committed estimate.
+	start, err := prob.UniformStart()
+	if err != nil {
+		return transport.Message{}, err
+	}
+	st.committed = start
+	r.mu.Lock()
+	r.rounds[spec.Round] = st
+	r.mu.Unlock()
+	return transport.NewMessage(MsgRoundStart+".ack", r.Addr(), nil)
+}
+
+// lookupRound fetches participant state.
+func (r *ReplicaServer) lookupRound(round int) (*roundState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.rounds[round]
+	if !ok {
+		return nil, fmt.Errorf("core: replica %s has no state for round %d", r.Addr(), round)
+	}
+	return st, nil
+}
+
+// handleLocalSolve runs one LDDM local solve (Algorithm 2, line 4).
+func (r *ReplicaServer) handleLocalSolve(req transport.Message) (transport.Message, error) {
+	var body LocalSolveBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(body.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if len(body.Mu) != st.prob.C() {
+		return transport.Message{}, fmt.Errorf("core: round %d: %d multipliers for %d clients", body.Round, len(body.Mu), st.prob.C())
+	}
+	st.myLocal.Mu = body.Mu
+	col, err := lddm.SolveLocal(st.myLocal)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return transport.NewMessage(MsgLocalSolve+".ack", r.Addr(), LocalSolveReply{Column: col})
+}
+
+// handleADMMProx runs one ADMM proximal solve on this replica's own
+// energy model (see internal/admm.ProximalColumn).
+func (r *ReplicaServer) handleADMMProx(req transport.Message) (transport.Message, error) {
+	var body ADMMProxBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(body.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if len(body.Target) != st.prob.C() {
+		return transport.Message{}, fmt.Errorf("core: admm prox round %d: %d targets for %d clients", body.Round, len(body.Target), st.prob.C())
+	}
+	caps := make([]float64, st.prob.C())
+	copy(caps, st.prob.Demands)
+	col, err := admm.ProximalColumn(st.prob.System.Replicas[st.myCol], st.myLocal.Allowed, caps, body.Target, body.Rho, 40)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return transport.NewMessage(MsgADMMProx+".ack", r.Addr(), ADMMProxReply{Column: col})
+}
+
+// handleAssign installs the final serving plan.
+func (r *ReplicaServer) handleAssign(req transport.Message) (transport.Message, error) {
+	var body AssignBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(body.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if len(body.Column) != len(body.ClientAddrs) {
+		return transport.Message{}, fmt.Errorf("core: assign round %d: %d amounts for %d clients", body.Round, len(body.Column), len(body.ClientAddrs))
+	}
+	plan := make(map[string]float64, len(body.Column))
+	for i, addr := range body.ClientAddrs {
+		if body.Column[i] > 0 {
+			plan[addr] = body.Column[i]
+		}
+	}
+	r.mu.Lock()
+	st.plan = plan
+	r.mu.Unlock()
+	return transport.NewMessage(MsgAssign+".ack", r.Addr(), nil)
+}
+
+// Plan returns the MB this replica was assigned to serve to the given
+// client in the given round (0 when none).
+func (r *ReplicaServer) Plan(round int, clientAddr string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.rounds[round]
+	if !ok || st.plan == nil {
+		return 0
+	}
+	return st.plan[clientAddr]
+}
+
+// handleDownload serves the FileDownload role: synthetic payload bytes,
+// BytesPerMB per requested MB.
+func (r *ReplicaServer) handleDownload(req transport.Message) (transport.Message, error) {
+	var body DownloadBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	if body.SizeMB < 0 {
+		return transport.Message{}, fmt.Errorf("core: download of %g MB", body.SizeMB)
+	}
+	size := int(body.SizeMB * float64(r.cfg.BytesPerMB))
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	r.Stats.DownloadsServed.Inc(1)
+	r.Stats.MBServed.Inc(int64(body.SizeMB))
+	return transport.NewMessage(MsgDownload+".ack", r.Addr(), DownloadReply{Payload: payload})
+}

@@ -1,0 +1,608 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"edr/internal/opt"
+	"edr/internal/transport"
+)
+
+// RoundReport summarizes a completed scheduling round.
+type RoundReport struct {
+	// Round is the initiator-local round id.
+	Round int
+	// Algorithm names the method used.
+	Algorithm string
+	// Iterations is how many distributed iterations ran.
+	Iterations int
+	// Restarts counts ring-failure restarts the round survived.
+	Restarts int
+	// ReplicaAddrs and ClientAddrs give the final participants in
+	// column/row order.
+	ReplicaAddrs []string
+	ClientAddrs  []string
+	// Assignment is the final load split (clients × replicas).
+	Assignment [][]float64
+	// Objective is the total energy cost of the assignment.
+	Objective float64
+}
+
+// failedMemberError marks a coordination failure attributable to one
+// replica; the round restarts without it.
+type failedMemberError struct {
+	addr string
+	err  error
+}
+
+func (e *failedMemberError) Error() string {
+	return fmt.Sprintf("core: member %s failed: %v", e.addr, e.err)
+}
+
+func (e *failedMemberError) Unwrap() error { return e.err }
+
+// send performs one coordination RPC with the configured timeout.
+func (r *ReplicaServer) send(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
+	req, err := transport.NewMessage(msgType, r.Addr(), body)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, r.cfg.RPCTimeout)
+	defer cancel()
+	resp, err := r.node.Send(cctx, to, req)
+	r.Stats.CoordMessages.Inc(1)
+	return resp, err
+}
+
+// sendReplica is send with member-failure attribution.
+func (r *ReplicaServer) sendReplica(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
+	resp, err := r.send(ctx, to, msgType, body)
+	if err != nil {
+		return transport.Message{}, &failedMemberError{addr: to, err: err}
+	}
+	return resp, nil
+}
+
+// fanOut runs fn(i) for every index concurrently and returns the first
+// error. The paper's server and client are multithreaded ("create new
+// threads to communicate with all the replicas at the same time"), so one
+// coordination wave costs one round trip of wall time, not count × RTT.
+func fanOut(count int, fn func(i int) error) error {
+	if count == 0 {
+		return nil
+	}
+	errs := make(chan error, count)
+	for i := 0; i < count; i++ {
+		go func(i int) { errs <- fn(i) }(i)
+	}
+	var first error
+	for i := 0; i < count; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RunRound schedules all pending requests: it drains the queue, runs the
+// configured distributed algorithm across the current ring, installs the
+// assignment on the replicas, and notifies the clients. When a ring member
+// fails mid-round, the member is declared dead (pruned and broadcast,
+// §III-C) and the round restarts on the survivors, up to RoundRetries
+// times.
+func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
+	// Drain the pending queue into this round.
+	r.mu.Lock()
+	if len(r.pending) == 0 {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: replica %s: no pending requests", r.Addr())
+	}
+	requests := make([]*RequestBody, 0, len(r.pending))
+	for _, req := range r.pending {
+		requests = append(requests, req)
+	}
+	r.pending = make(map[string]*RequestBody)
+	r.mu.Unlock()
+	r.Stats.RoundsInitiated.Inc(1)
+
+	var lastErr error
+	restarts := 0
+	for attempt := 0; attempt <= r.cfg.RoundRetries; attempt++ {
+		report, err := r.runRoundOnce(ctx, requests, restarts)
+		if err == nil {
+			return report, nil
+		}
+		lastErr = err
+		var fail *failedMemberError
+		if asFailedMember(err, &fail) && r.ring.Contains(fail.addr) && fail.addr != r.Addr() {
+			// Prune the dead member, tell the survivors, retry.
+			r.mon.DeclareDead(fail.addr)
+			r.Stats.RoundsRestarted.Inc(1)
+			restarts++
+			continue
+		}
+		break
+	}
+	return nil, lastErr
+}
+
+// ServeRounds runs scheduling rounds on a timer until ctx ends: every
+// interval, pending requests (if any) are scheduled with RunRound. Round
+// outcomes are delivered to onRound (which may be nil); errors to onError
+// (which may be nil). This is the loop cmd/edrd runs; it lives here so
+// deployments embedding the library get the same behavior.
+func (r *ReplicaServer) ServeRounds(ctx context.Context, interval time.Duration, onRound func(*RoundReport), onError func(error)) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if r.PendingRequests() == 0 {
+				continue
+			}
+			rctx, cancel := context.WithTimeout(ctx, 10*interval)
+			report, err := r.RunRound(rctx)
+			cancel()
+			if err != nil {
+				if onError != nil {
+					onError(err)
+				}
+				continue
+			}
+			if onRound != nil {
+				onRound(report)
+			}
+		}
+	}
+}
+
+// asFailedMember unwraps err into *failedMemberError.
+func asFailedMember(err error, target **failedMemberError) bool {
+	for err != nil {
+		if fe, ok := err.(*failedMemberError); ok {
+			*target = fe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// runRoundOnce executes one attempt over the current ring membership.
+func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBody, restarts int) (*RoundReport, error) {
+	members := r.ring.Members()
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: replica %s: empty ring", r.Addr())
+	}
+
+	// 1. Gather every member's model parameters (parallel fan-out).
+	infos := make([]ReplicaInfo, len(members))
+	if err := fanOut(len(members), func(i int) error {
+		resp, err := r.sendReplica(ctx, members[i], MsgReplicaInfo, nil)
+		if err != nil {
+			return err
+		}
+		return resp.DecodeBody(&infos[i])
+	}); err != nil {
+		return nil, err
+	}
+
+	// 2. Build the round spec: rows in request order, columns in ring
+	// order. Latencies a client did not measure are treated as beyond the
+	// bound (the replica is not a candidate for that client).
+	r.mu.Lock()
+	r.roundSeq++
+	round := r.roundSeq
+	r.mu.Unlock()
+	spec := RoundSpec{
+		Round:         round,
+		Replicas:      infos,
+		MaxLatencySec: r.cfg.MaxLatencySec,
+	}
+	for _, req := range requests {
+		spec.ClientAddrs = append(spec.ClientAddrs, req.ClientAddr)
+		spec.Demands = append(spec.Demands, req.DemandMB)
+		row := make([]float64, len(infos))
+		for j, info := range infos {
+			if l, ok := req.LatencySec[info.Addr]; ok {
+				row[j] = l
+			} else {
+				row[j] = 10 * r.cfg.MaxLatencySec // unmeasured → infeasible
+			}
+		}
+		spec.LatencySec = append(spec.LatencySec, row)
+	}
+	prob, err := specProblem(&spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.CheckFeasible(prob); err != nil {
+		return nil, err
+	}
+
+	// 3. Install the round on every replica.
+	if err := fanOut(len(infos), func(i int) error {
+		_, err := r.sendReplica(ctx, infos[i].Addr, MsgRoundStart, spec)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// 4. Run the distributed iterations.
+	var assignment [][]float64
+	var iterations int
+	switch r.cfg.Algorithm {
+	case LDDM:
+		assignment, iterations, err = r.runLDDM(ctx, &spec, prob)
+	case CDPSM:
+		assignment, iterations, err = r.runCDPSM(ctx, &spec, prob)
+	case ADMM:
+		assignment, iterations, err = r.runADMM(ctx, &spec, prob)
+	default:
+		err = fmt.Errorf("core: unknown algorithm %v", r.cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Install the final plan on replicas and notify clients.
+	if err := fanOut(len(infos), func(j int) error {
+		col := make([]float64, len(spec.ClientAddrs))
+		for i := range spec.ClientAddrs {
+			col[i] = assignment[i][j]
+		}
+		body := AssignBody{Round: round, Column: col, ClientAddrs: spec.ClientAddrs}
+		_, err := r.sendReplica(ctx, infos[j].Addr, MsgAssign, body)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	_ = fanOut(len(spec.ClientAddrs), func(i int) error {
+		per := make(map[string]float64, len(infos))
+		for j, info := range infos {
+			if assignment[i][j] > 0 {
+				per[info.Addr] = assignment[i][j]
+			}
+		}
+		body := AllocationBody{
+			Round:        round,
+			PerReplicaMB: per,
+			Algorithm:    r.cfg.Algorithm.String(),
+			Iterations:   iterations,
+		}
+		// Client failures do not abort the round: the other clients'
+		// allocations stand.
+		_, _ = r.send(ctx, spec.ClientAddrs[i], MsgAllocation, body)
+		return nil
+	})
+
+	replicaAddrs := make([]string, len(infos))
+	for j, info := range infos {
+		replicaAddrs[j] = info.Addr
+	}
+	return &RoundReport{
+		Round:        round,
+		Algorithm:    r.cfg.Algorithm.String(),
+		Iterations:   iterations,
+		Restarts:     restarts,
+		ReplicaAddrs: replicaAddrs,
+		ClientAddrs:  spec.ClientAddrs,
+		Assignment:   assignment,
+		Objective:    prob.Cost(assignment),
+	}, nil
+}
+
+// runLDDM drives Algorithm 2 over the fabric: replicas answer local
+// solves, clients answer multiplier updates, and the initiator recovers
+// the primal from a doubling suffix average.
+func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.Problem) ([][]float64, int, error) {
+	c, n := prob.C(), prob.N()
+	tol := r.cfg.Tol
+	if tol <= 0 {
+		tol = 0.02
+	}
+	step := lddmAutoStepValue(prob)
+	mu := make([]float64, c)
+	primal := opt.NewMatrix(c, n)
+	avg := opt.NewMatrix(c, n)
+	windowStart := 1
+	iterations := 0
+
+	for k := 1; k <= r.cfg.MaxIters; k++ {
+		iterations = k
+		// Local solves, one per replica (parallel: disjoint columns).
+		if err := fanOut(n, func(j int) error {
+			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgLocalSolve, LocalSolveBody{Round: spec.Round, Iter: k, Mu: mu})
+			if err != nil {
+				return err
+			}
+			var reply LocalSolveReply
+			if err := resp.DecodeBody(&reply); err != nil {
+				return err
+			}
+			if len(reply.Column) != c {
+				return fmt.Errorf("core: %s returned %d entries for %d clients", spec.Replicas[j].Addr, len(reply.Column), c)
+			}
+			for i := 0; i < c; i++ {
+				primal[i][j] = reply.Column[i]
+			}
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		// Multiplier updates, one per client (the clients own μ;
+		// parallel: disjoint μ entries).
+		if err := fanOut(c, func(i int) error {
+			served := 0.0
+			for j := 0; j < n; j++ {
+				served += primal[i][j]
+			}
+			body := MuUpdateBody{Round: spec.Round, Iter: k, ServedMB: served, DemandMB: spec.Demands[i], Step: step}
+			resp, err := r.send(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
+			if err != nil {
+				return fmt.Errorf("core: client %s μ update: %w", spec.ClientAddrs[i], err)
+			}
+			var reply MuUpdateReply
+			if err := resp.DecodeBody(&reply); err != nil {
+				return err
+			}
+			mu[i] = reply.Mu
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		// Doubling suffix average + convergence check (see internal/lddm).
+		if k == windowStart*2 {
+			windowStart = k
+			opt.Fill(avg, 0)
+		}
+		w := k - windowStart + 1
+		opt.Scale(avg, float64(w-1)/float64(w))
+		opt.AXPY(avg, 1/float64(w), primal)
+		if w >= 16 {
+			maxRel := 0.0
+			rows := opt.RowSums(avg)
+			for i := 0; i < c; i++ {
+				denom := spec.Demands[i]
+				if denom < 1 {
+					denom = 1
+				}
+				if rel := math.Abs(rows[i]-spec.Demands[i]) / denom; rel > maxRel {
+					maxRel = rel
+				}
+			}
+			if maxRel <= tol {
+				break
+			}
+		}
+	}
+
+	final := opt.Clone(avg)
+	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
+		return nil, 0, fmt.Errorf("core: lddm primal recovery: %w", err)
+	}
+	return final, iterations, nil
+}
+
+// lddmAutoStepValue mirrors lddm.AutoStep but returns the scalar value so
+// it can travel in μ-update messages.
+func lddmAutoStepValue(prob *opt.Problem) float64 {
+	totalDemand := 0.0
+	for _, d := range prob.Demands {
+		totalDemand += d
+	}
+	n := prob.N()
+	typLoad := totalDemand / float64(n)
+	meanMarginal := 0.0
+	for _, rep := range prob.System.Replicas {
+		meanMarginal += rep.MarginalCost(typLoad)
+	}
+	meanMarginal /= float64(n)
+	meanDemand := totalDemand / float64(prob.C())
+	if meanDemand <= 0 || meanMarginal <= 0 {
+		return 0.01
+	}
+	return meanMarginal / (50 * meanDemand)
+}
+
+// runADMM drives the sharing-ADMM extension over the fabric: replicas
+// answer proximal solves against initiator-assembled targets, and clients
+// hold the scaled dual (their MuUpdate rule with step 1/|N| is exactly the
+// ADMM dual update u += (served − R)/|N|).
+func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.Problem) ([][]float64, int, error) {
+	c, n := prob.C(), prob.N()
+	tol := r.cfg.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	rho := admmAutoRho(prob)
+	z := opt.NewMatrix(n, c) // transposed: z[replica][client]
+	u := make([]float64, c)
+	share := make([]float64, c)
+	demandNorm := 0.0
+	for i := 0; i < c; i++ {
+		share[i] = spec.Demands[i] / float64(n)
+		demandNorm += spec.Demands[i] * spec.Demands[i]
+	}
+	demandNorm = math.Sqrt(demandNorm)
+	rowAvg := make([]float64, c)
+	iterations := 0
+	for k := 1; k <= r.cfg.MaxIters; k++ {
+		iterations = k
+		for i := 0; i < c; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += z[j][i]
+			}
+			rowAvg[i] = sum / float64(n)
+		}
+		// Proximal solves (parallel: disjoint z rows).
+		if err := fanOut(n, func(j int) error {
+			target := make([]float64, c)
+			for i := 0; i < c; i++ {
+				target[i] = z[j][i] - rowAvg[i] + share[i] - u[i]
+			}
+			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgADMMProx, ADMMProxBody{Round: spec.Round, Iter: k, Rho: rho, Target: target})
+			if err != nil {
+				return err
+			}
+			var reply ADMMProxReply
+			if err := resp.DecodeBody(&reply); err != nil {
+				return err
+			}
+			if len(reply.Column) != c {
+				return fmt.Errorf("core: %s returned %d entries for %d clients", spec.Replicas[j].Addr, len(reply.Column), c)
+			}
+			copy(z[j], reply.Column)
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		// Dual updates at the clients (step 1/|N| realizes the ADMM rule).
+		maxPrimal := 0.0
+		var mu sync.Mutex
+		if err := fanOut(c, func(i int) error {
+			served := 0.0
+			for j := 0; j < n; j++ {
+				served += z[j][i]
+			}
+			body := MuUpdateBody{Round: spec.Round, Iter: k, ServedMB: served, DemandMB: spec.Demands[i], Step: 1 / float64(n)}
+			resp, err := r.send(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
+			if err != nil {
+				return fmt.Errorf("core: client %s dual update: %w", spec.ClientAddrs[i], err)
+			}
+			var reply MuUpdateReply
+			if err := resp.DecodeBody(&reply); err != nil {
+				return err
+			}
+			u[i] = reply.Mu
+			mu.Lock()
+			if res := math.Abs(served - spec.Demands[i]); res > maxPrimal {
+				maxPrimal = res
+			}
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		if maxPrimal <= tol*(1+demandNorm) {
+			break
+		}
+	}
+	final := opt.NewMatrix(c, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < c; i++ {
+			final[i][j] = z[j][i]
+		}
+	}
+	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
+		return nil, 0, fmt.Errorf("core: admm primal recovery: %w", err)
+	}
+	return final, iterations, nil
+}
+
+// admmAutoRho mirrors internal/admm's penalty scaling.
+func admmAutoRho(prob *opt.Problem) float64 {
+	total := 0.0
+	for _, d := range prob.Demands {
+		total += d
+	}
+	n := prob.N()
+	typLoad := total / float64(n)
+	meanMarginal := 0.0
+	for _, rep := range prob.System.Replicas {
+		meanMarginal += rep.MarginalCost(typLoad)
+	}
+	meanMarginal /= float64(n)
+	meanDemand := total / float64(prob.C())
+	if meanDemand <= 0 || meanMarginal <= 0 {
+		return 1
+	}
+	return meanMarginal / meanDemand
+}
+
+// runCDPSM drives Algorithm 1 over the fabric: step (each replica pulls
+// every peer's committed estimate and stages its update) then commit, per
+// iteration; the final assignment is the average of the committed
+// estimates, polished to exact feasibility.
+func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt.Problem) ([][]float64, int, error) {
+	tol := r.cfg.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	const step = 0.05 // the paper's constant step
+	iterations := 0
+	nReplicas := len(spec.Replicas)
+	for k := 1; k <= r.cfg.MaxIters; k++ {
+		iterations = k
+		moved := make([]float64, nReplicas)
+		if err := fanOut(nReplicas, func(j int) error {
+			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMStep, CDPSMStepBody{Round: spec.Round, Iter: k, Step: step})
+			if err != nil {
+				return err
+			}
+			var reply CDPSMStepReply
+			if err := resp.DecodeBody(&reply); err != nil {
+				return err
+			}
+			moved[j] = reply.Moved
+			return nil
+		}); err != nil {
+			return nil, 0, err
+		}
+		if err := fanOut(nReplicas, func(j int) error {
+			_, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMCommit, CDPSMCommitBody{Round: spec.Round, Iter: k})
+			return err
+		}); err != nil {
+			return nil, 0, err
+		}
+		maxMoved := 0.0
+		for _, m := range moved {
+			if m > maxMoved {
+				maxMoved = m
+			}
+		}
+		if maxMoved <= tol {
+			break
+		}
+	}
+
+	// Average the committed estimates.
+	c, n := prob.C(), prob.N()
+	estimates := make([][][]float64, nReplicas)
+	if err := fanOut(nReplicas, func(j int) error {
+		resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMEstimate, CDPSMEstimateBody{Round: spec.Round})
+		if err != nil {
+			return err
+		}
+		var reply CDPSMEstimateReply
+		if err := resp.DecodeBody(&reply); err != nil {
+			return err
+		}
+		estimates[j] = reply.Estimate
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	sum := opt.NewMatrix(c, n)
+	for _, est := range estimates {
+		opt.Add(sum, est)
+	}
+	opt.Scale(sum, 1/float64(nReplicas))
+	if err := opt.ProjectFeasible(prob, sum, 1e-6); err != nil {
+		return nil, 0, fmt.Errorf("core: cdpsm final polish: %w", err)
+	}
+	return sum, iterations, nil
+}

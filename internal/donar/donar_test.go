@@ -1,0 +1,188 @@
+package donar
+
+import (
+	"testing"
+
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+func TestDONARName(t *testing.T) {
+	if New().Name() != "DONAR" {
+		t.Fatalf("Name = %q", New().Name())
+	}
+}
+
+func TestDONARFeasibleSolution(t *testing.T) {
+	r := sim.NewRand(1)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 9, Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged && res.Iterations < 60 {
+		t.Fatalf("stopped at %d rounds without converging", res.Iterations)
+	}
+}
+
+func TestDONARPrefersLowLatency(t *testing.T) {
+	r := sim.NewRand(3)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 1, Replicas: 3, Demands: []float64{30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob.Latency[0][0] = 0.0002 // clearly nearest
+	prob.Latency[0][1] = 0.0015
+	prob.Latency[0][2] = 0.0015
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0][0] < 25 {
+		t.Fatalf("nearest replica got %g of 30", res.Assignment[0][0])
+	}
+}
+
+func TestDONAREnergyOblivious(t *testing.T) {
+	// Same topology/demands, different prices → identical assignments.
+	rA := sim.NewRand(5)
+	probA, err := probgen.MustFeasible(rA, probgen.Spec{
+		Clients: 4, Replicas: 3, Prices: []float64{1, 1, 1}, Demands: []float64{25, 15, 30, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB := sim.NewRand(5)
+	probB, err := probgen.MustFeasible(rB, probgen.Spec{
+		Clients: 4, Replicas: 3, Prices: []float64{20, 1, 7}, Demands: []float64{25, 15, 30, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := New().Solve(probA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := New().Solve(probB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := opt.Dist(resA.Assignment, resB.Assignment); d > 1e-9 {
+		t.Fatalf("DONAR reacted to prices: distance %g", d)
+	}
+}
+
+func TestDONARRespectsCapacityUnderPressure(t *testing.T) {
+	r := sim.NewRand(7)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{
+		Clients: 4, Replicas: 2, Demands: []float64{60, 60, 40, 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := opt.ColSums(res.Assignment)
+	for n, load := range loads {
+		if load > prob.System.Replicas[n].Bandwidth+1e-6 {
+			t.Fatalf("replica %d load %g over cap", n, load)
+		}
+	}
+}
+
+func TestDONARCommGrowsWithMappingNodes(t *testing.T) {
+	r := sim.NewRand(9)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 12, Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := func(m int) int {
+		s := New()
+		s.MappingNodes = m
+		res, err := s.Solve(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Comm.Scalars / res.Iterations
+	}
+	three := perIter(3)
+	six := perIter(6)
+	if six <= three {
+		t.Fatalf("scalars/iter did not grow with |M|: %d vs %d", three, six)
+	}
+}
+
+func TestDONARSingleMappingNode(t *testing.T) {
+	r := sim.NewRand(11)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 5, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.MappingNodes = 1
+	res, err := s.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDONARMoreMappingNodesThanClients(t *testing.T) {
+	r := sim.NewRand(13)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.MappingNodes = 5
+	res, err := s.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDONARGeoMaskRespected(t *testing.T) {
+	r := sim.NewRand(17)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 10, Replicas: 5, Geo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := prob.Allowed()
+	for c := range res.Assignment {
+		for n, v := range res.Assignment[c] {
+			if !mask[c][n] && v > 1e-9 {
+				t.Fatalf("masked entry [%d][%d] = %g", c, n, v)
+			}
+		}
+	}
+}
+
+func TestDONARInfeasibleRejected(t *testing.T) {
+	r := sim.NewRand(19)
+	prob, err := probgen.New(r, probgen.Spec{Clients: 1, Replicas: 1, Demands: []float64{500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Solve(prob); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}

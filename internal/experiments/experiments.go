@@ -1,0 +1,82 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§IV): the runtime power profiles (Fig 3/4), the convergence
+// comparison (Fig 5), the per-replica energy costs (Fig 6/7), the total
+// cost/consumption comparison (Fig 8), the EDR-vs-DONAR response-time
+// scaling (Fig 9), and the Table I parameter instantiation. Each runner
+// returns CSV-ready tables plus a summary of the headline numbers so the
+// shapes can be checked against the paper programmatically.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"edr/internal/trace"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID names the paper artifact ("fig5", "table1", ...).
+	ID string
+	// Tables hold the regenerated series/rows.
+	Tables []*trace.Table
+	// Summary carries headline scalars (savings percentages, iteration
+	// counts, response times) keyed by metric name.
+	Summary map[string]float64
+	// Notes explain how to read the output against the paper.
+	Notes []string
+}
+
+// addSummary records a headline metric.
+func (r *Result) addSummary(key string, v float64) {
+	if r.Summary == nil {
+		r.Summary = make(map[string]float64)
+	}
+	r.Summary[key] = v
+}
+
+// SummaryKeys returns the summary metric names in sorted order.
+func (r *Result) SummaryKeys() []string {
+	keys := make([]string, 0, len(r.Summary))
+	for k := range r.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Runner executes one experiment.
+type Runner func(seed uint64) (*Result, error)
+
+// Registry maps experiment ids to runners, in paper order.
+func Registry() []struct {
+	ID    string
+	Title string
+	Run   Runner
+} {
+	return []struct {
+		ID    string
+		Title string
+		Run   Runner
+	}{
+		{"table1", "Table I: model parameters on the emulated SystemG deployment", Table1},
+		{"fig3", "Fig 3: runtime power profile per replica, CDPSM, distributed file service", Fig3},
+		{"fig4", "Fig 4: runtime power profile per replica, LDDM, distributed file service", Fig4},
+		{"fig5", "Fig 5: convergence of CDPSM vs LDDM on a 3-replica instance", Fig5},
+		{"fig6", "Fig 6: per-replica energy cost, video streaming, LDDM/CDPSM/Round-Robin", Fig6},
+		{"fig7", "Fig 7: per-replica energy cost, distributed file service, LDDM/CDPSM/Round-Robin", Fig7},
+		{"fig8", "Fig 8: total energy cost and consumption across 40 runs", Fig8},
+		{"fig9", "Fig 9: response time vs request count, EDR vs DONAR", Fig9},
+		{"ablations", "Beyond the paper: γ / price-spread / latency-bound sensitivity sweeps", Ablations},
+	}
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// The Fig 5 shape — LDDM converging in markedly fewer iterations than
+// CDPSM — must hold across instances, not just the default seed.
+func TestFig5ShapeRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for _, seed := range []uint64{2013, 1, 2, 3, 11, 42, 99} {
+		res, err := Fig5(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ld := res.Summary["lddm_iters_to_1pct"]
+		cd := res.Summary["cdpsm_iters_to_1pct"]
+		if ld*2 >= cd {
+			t.Errorf("seed %d: LDDM %g vs CDPSM %g iterations — separation too weak", seed, ld, cd)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edr/internal/cluster"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+	"edr/internal/workload"
+)
+
+func simpleRoundFixture(t *testing.T) (*opt.Problem, *solver.Result) {
+	t.Helper()
+	prob, err := probgen.MustFeasible(sim.NewRand(1), probgen.Spec{
+		Clients:  2,
+		Replicas: 3,
+		Prices:   []float64{1, 5, 9},
+		Demands:  []float64{30, 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built assignment: replica 2 (price 9) never selected.
+	res := &solver.Result{
+		Assignment: [][]float64{
+			{20, 10, 0},
+			{15, 5, 0},
+		},
+		Iterations: 100,
+		Comm:       solver.CommStats{Messages: 1200, Scalars: 12000},
+	}
+	return prob, res
+}
+
+func TestSelectionDurationComposition(t *testing.T) {
+	tm := DefaultTiming()
+	_, res := simpleRoundFixture(t)
+	d := tm.SelectionDuration(res, 3, "LDDM")
+	// iterations×compute + (msgs/3)×msgOverhead + (scalars/3)×scalarTime
+	want := 100*tm.Compute["LDDM"] + 400*tm.MsgOverhead + 4000*tm.ScalarTime
+	if d != want {
+		t.Fatalf("SelectionDuration = %v, want %v", d, want)
+	}
+	// Unknown algorithm falls back to a 1ms compute charge.
+	if d := tm.SelectionDuration(res, 3, "mystery"); d <= 0 {
+		t.Fatalf("unknown algo duration = %v", d)
+	}
+	// Zero iterations are clamped to 1.
+	resZero := &solver.Result{Iterations: 0}
+	if d := tm.SelectionDuration(resZero, 3, "LDDM"); d != tm.Compute["LDDM"] {
+		t.Fatalf("zero-iteration duration = %v", d)
+	}
+}
+
+func TestPlayRoundPhases(t *testing.T) {
+	prob, res := simpleRoundFixture(t)
+	cl := cluster.NewSystemG(3)
+	tm := DefaultTiming()
+	at := sim.Epoch
+	played, err := PlayRound(cl, tm, at, prob, res, "LDDM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !played.SelectionStart.Equal(at) {
+		t.Fatalf("selection start = %v", played.SelectionStart)
+	}
+	if !played.SelectionEnd.After(at) {
+		t.Fatal("selection has no duration")
+	}
+	// During selection every node draws the selection utilization.
+	mid := at.Add(played.SelectionEnd.Sub(at) / 2)
+	for j, node := range cl.Nodes {
+		wantU := tm.SelectUtil["LDDM"]
+		if got := node.UtilizationAt(mid); math.Abs(got-wantU) > 1e-12 {
+			t.Fatalf("node %d selection util = %g, want %g", j, got, wantU)
+		}
+	}
+	// Loads are 35, 15, 0 over bandwidth 100: transfers 0.35s, 0.15s, none.
+	want0 := played.SelectionEnd.Add(350 * time.Millisecond)
+	if !played.TransferEnd[0].Equal(want0) {
+		t.Fatalf("transfer end 0 = %v, want %v", played.TransferEnd[0], want0)
+	}
+	if !played.TransferEnd[2].Equal(played.SelectionEnd) {
+		t.Fatal("unselected replica has a transfer phase")
+	}
+	if !played.End.Equal(played.TransferEnd[0]) {
+		t.Fatalf("round end = %v, want slowest transfer %v", played.End, played.TransferEnd[0])
+	}
+	// During a transfer the node draws peak utilization.
+	during := played.SelectionEnd.Add(100 * time.Millisecond)
+	if got := cl.Node(0).UtilizationAt(during); got != tm.TransferUtil {
+		t.Fatalf("transfer util = %g", got)
+	}
+	// The unselected node is idle after selection.
+	if got := cl.Node(2).UtilizationAt(during); got != 0 {
+		t.Fatalf("unselected node util = %g", got)
+	}
+}
+
+func TestPlayRoundShapeMismatch(t *testing.T) {
+	prob, res := simpleRoundFixture(t)
+	cl := cluster.NewSystemG(2) // wrong size
+	if _, err := PlayRound(cl, DefaultTiming(), sim.Epoch, prob, res, "LDDM"); err == nil {
+		t.Fatal("cluster/replica mismatch accepted")
+	}
+}
+
+func TestPlayScheduleEnergyOrdering(t *testing.T) {
+	prob, res := simpleRoundFixture(t)
+	cl := cluster.NewSystemG(3)
+	tm := DefaultTiming()
+	_, end, joules, err := PlaySchedule(cl, tm, []*opt.Problem{prob}, []*solver.Result{res}, "LDDM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !end.After(sim.Epoch) {
+		t.Fatal("empty schedule window")
+	}
+	// The most-loaded replica consumes the most; the unselected replica
+	// the least (its meter stops after selection).
+	if !(joules[0] > joules[1] && joules[1] > joules[2]) {
+		t.Fatalf("joule ordering violated: %v", joules)
+	}
+	// The model-energy injection must be present: replica 0's joules
+	// exceed pure metered-node energy for its window.
+	if joules[0] < tm.ModelJoulesPerUnit*prob.System.Replicas[0].Energy(35) {
+		t.Fatalf("model energy missing from joules: %v", joules)
+	}
+}
+
+func TestPlayScheduleInputValidation(t *testing.T) {
+	cl := cluster.NewSystemG(3)
+	if _, _, _, err := PlaySchedule(cl, DefaultTiming(), nil, nil, "LDDM"); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	prob, res := simpleRoundFixture(t)
+	if _, _, _, err := PlaySchedule(cl, DefaultTiming(), []*opt.Problem{prob, prob}, []*solver.Result{res}, "LDDM"); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPaperRoundsFeasibleAndSized(t *testing.T) {
+	r := sim.NewRand(5)
+	prices := []float64{1, 8, 1, 6, 1, 5, 2, 3}
+	probs, err := paperRounds(r, workload.DFS, prices, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) == 0 || len(probs) > 3 {
+		t.Fatalf("rounds = %d", len(probs))
+	}
+	for i, prob := range probs {
+		if prob.N() != 8 {
+			t.Fatalf("round %d has %d replicas", i, prob.N())
+		}
+		if err := opt.CheckFeasible(prob); err != nil {
+			t.Fatalf("round %d infeasible: %v", i, err)
+		}
+		total := 0.0
+		for _, d := range prob.Demands {
+			total += d
+		}
+		if total <= 0 || total > 800 {
+			t.Fatalf("round %d total demand %g outside (0, 800]", i, total)
+		}
+	}
+}
+
+func TestNewSolverKnownAndUnknown(t *testing.T) {
+	for _, algo := range schedulers {
+		s, err := newSolver(algo, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != algo {
+			t.Fatalf("solver name %q for %q", s.Name(), algo)
+		}
+	}
+	if _, err := newSolver("mystery", 100); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestSolveAllVerifiesResults(t *testing.T) {
+	r := sim.NewRand(6)
+	prices := []float64{1, 8, 1, 6, 1, 5, 2, 3}
+	probs, err := paperRounds(r, workload.DFS, prices, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range schedulers {
+		results, err := solveAll(probs, algo, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(results) != len(probs) {
+			t.Fatalf("%s: %d results for %d rounds", algo, len(results), len(probs))
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package lddm implements the Lagrangian dual decomposition method (paper
+// Algorithm 2, after Bertsekas & Tsitsiklis, "Parallel and Distributed
+// Computation", 1989) for the EDR replica-selection problem.
+//
+// The client-demand equality constraints Σ_n p_{c,n} = R_c couple the
+// replicas' variables, so they are dualized with multipliers μ_c held by
+// the clients. Each replica n then solves a purely local problem over its
+// own column {p_{c,n}}:
+//
+//	minimize   E_n(S) + Σ_c μ_c · p_{c,n}     where S = Σ_c p_{c,n}
+//	subject to 0 ≤ p_{c,n} ≤ R_c,  S ≤ B_n,  p_{c,n} = 0 if l_{c,n} > T
+//
+// and each client c updates its multiplier by gradient ascent on the dual:
+// μ_c ← μ_c + d·(Σ_n p_{c,n} − R_c). Coordination is purely pairwise
+// between clients and replicas — O(|C|·|N|) scalars per iteration, the
+// source of LDDM's speed advantage over CDPSM (paper §III-D.2).
+package lddm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edr/internal/model"
+)
+
+// LocalProblem is the data replica n needs for one local solve.
+type LocalProblem struct {
+	// Replica carries u_n, α_n, β_n, γ_n and B_n.
+	Replica model.Replica
+	// Mu holds the clients' current multipliers μ_c.
+	Mu []float64
+	// Demands holds R_c — the per-client caps p_{c,n} ≤ R_c.
+	Demands []float64
+	// Allowed[c] reports whether this replica is within client c's
+	// latency bound.
+	Allowed []bool
+}
+
+// Validate checks shape consistency.
+func (lp *LocalProblem) Validate() error {
+	c := len(lp.Mu)
+	if c == 0 {
+		return fmt.Errorf("lddm: local problem has no clients")
+	}
+	if len(lp.Demands) != c || len(lp.Allowed) != c {
+		return fmt.Errorf("lddm: local problem shape mismatch: mu %d, demands %d, allowed %d",
+			c, len(lp.Demands), len(lp.Allowed))
+	}
+	return lp.Replica.Validate()
+}
+
+// marginalLoad inverts the marginal-cost function: the load S at which
+// u·(α + βγ·S^{γ−1}) equals m, or 0 when m is below the idle marginal and
+// +Inf when β or γ make the polynomial term vanish and m exceeds the
+// constant marginal.
+func marginalLoad(r model.Replica, m float64) float64 {
+	base := r.Price * r.Alpha
+	if m <= base {
+		return 0
+	}
+	poly := r.Price * r.Beta * r.Gamma
+	if poly <= 0 || r.Gamma == 1 {
+		return math.Inf(1) // marginal cost is constant; any load qualifies
+	}
+	return math.Pow((m-base)/poly, 1/(r.Gamma-1))
+}
+
+// SolveLocal solves the replica-local problem exactly by water-filling.
+//
+// The objective is Φ(S) + Σ μ_c p_c with Φ convex increasing, so the
+// optimum allocates to clients in ascending-μ order: client c receives
+// load while the marginal Φ'(S) + μ_c stays negative, stopping at its cap
+// R_c, at the capacity B_n, or at the break-even load Φ'(S) = −μ_c,
+// whichever comes first. Clients with μ_c ≥ −Φ'(current S) receive
+// nothing, as do latency-infeasible clients.
+func SolveLocal(lp *LocalProblem) ([]float64, error) {
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+	c := len(lp.Mu)
+	p := make([]float64, c)
+
+	// Candidate clients in ascending μ.
+	order := make([]int, 0, c)
+	for i := 0; i < c; i++ {
+		if lp.Allowed[i] && lp.Demands[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return lp.Mu[order[a]] < lp.Mu[order[b]] })
+
+	s := 0.0
+	budget := lp.Replica.Bandwidth
+	for _, i := range order {
+		if s >= budget-1e-15 {
+			break
+		}
+		mu := lp.Mu[i]
+		// Load level at which this client's marginal hits zero.
+		breakEven := marginalLoad(lp.Replica, -mu)
+		if breakEven <= s {
+			break // this and all later clients have non-negative marginals
+		}
+		take := math.Min(lp.Demands[i], math.Min(budget, breakEven)-s)
+		if take <= 0 {
+			break
+		}
+		p[i] = take
+		s += take
+	}
+	return p, nil
+}
+
+// LocalObjective evaluates E_n(S) + Σ μ_c p_c for a candidate column p.
+func LocalObjective(lp *LocalProblem, p []float64) float64 {
+	s := 0.0
+	linear := 0.0
+	for c, v := range p {
+		s += v
+		linear += lp.Mu[c] * v
+	}
+	return lp.Replica.Cost(s) + linear
+}
+
+// SolveLocalPGD solves the same local problem by projected gradient
+// descent — a slower, independent method used in tests to cross-check the
+// water-filling solution.
+func SolveLocalPGD(lp *LocalProblem, iters int, step float64) ([]float64, error) {
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+	if iters <= 0 || step <= 0 {
+		return nil, fmt.Errorf("lddm: SolveLocalPGD needs positive iters and step")
+	}
+	c := len(lp.Mu)
+	p := make([]float64, c)
+	for k := 1; k <= iters; k++ {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		marginal := lp.Replica.MarginalCost(s)
+		d := step / math.Sqrt(float64(k))
+		for i := 0; i < c; i++ {
+			if !lp.Allowed[i] {
+				p[i] = 0
+				continue
+			}
+			p[i] -= d * (marginal + lp.Mu[i])
+			if p[i] < 0 {
+				p[i] = 0
+			} else if p[i] > lp.Demands[i] {
+				p[i] = lp.Demands[i]
+			}
+		}
+		// Re-impose the capacity budget.
+		s = 0.0
+		for _, v := range p {
+			s += v
+		}
+		if s > lp.Replica.Bandwidth {
+			scale := lp.Replica.Bandwidth / s
+			for i := range p {
+				p[i] *= scale
+			}
+		}
+	}
+	return p, nil
+}

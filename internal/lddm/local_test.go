@@ -1,0 +1,240 @@
+package lddm
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/model"
+	"edr/internal/sim"
+)
+
+func localProblem(price float64, mu, demands []float64) *LocalProblem {
+	allowed := make([]bool, len(mu))
+	for i := range allowed {
+		allowed[i] = true
+	}
+	return &LocalProblem{
+		Replica: model.NewReplica("r", price),
+		Mu:      mu,
+		Demands: demands,
+		Allowed: allowed,
+	}
+}
+
+func TestSolveLocalAllZeroMu(t *testing.T) {
+	// With μ = 0, every marginal is positive (serving costs energy and
+	// earns nothing), so the optimum is to serve nothing.
+	lp := localProblem(5, []float64{0, 0}, []float64{10, 10})
+	p, err := SolveLocal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p {
+		if v != 0 {
+			t.Fatalf("p[%d] = %g, want 0 at zero multipliers", i, v)
+		}
+	}
+}
+
+func TestSolveLocalNegativeMuServes(t *testing.T) {
+	// Strongly negative μ makes serving worthwhile up to the cap.
+	lp := localProblem(1, []float64{-1e6}, []float64{10})
+	p, err := SolveLocal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-10) > 1e-9 {
+		t.Fatalf("p = %g, want full demand 10", p[0])
+	}
+}
+
+func TestSolveLocalRespectsBandwidth(t *testing.T) {
+	lp := localProblem(1, []float64{-1e6, -1e6}, []float64{80, 80})
+	p, err := SolveLocal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p[0] + p[1]; s > lp.Replica.Bandwidth+1e-9 {
+		t.Fatalf("total %g exceeds bandwidth %g", s, lp.Replica.Bandwidth)
+	}
+}
+
+func TestSolveLocalPrefersLowerMu(t *testing.T) {
+	// Capacity 100; two clients demanding 80 each; the lower-μ client is
+	// served first.
+	lp := localProblem(1, []float64{-1e6, -0.5e6}, []float64{80, 80})
+	p, err := SolveLocal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-80) > 1e-9 {
+		t.Fatalf("low-μ client got %g, want 80", p[0])
+	}
+	if math.Abs(p[1]-20) > 1e-9 {
+		t.Fatalf("high-μ client got %g, want 20 (remaining capacity)", p[1])
+	}
+}
+
+func TestSolveLocalStopsAtBreakEven(t *testing.T) {
+	// Moderate μ: serving stops where marginal cost reaches −μ.
+	// Marginal = u(α + βγS²) = 1 + 0.03S². With μ = −4: S* = √(3/0.03) = 10.
+	lp := localProblem(1, []float64{-4}, []float64{50})
+	p, err := SolveLocal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-10) > 1e-6 {
+		t.Fatalf("p = %g, want break-even 10", p[0])
+	}
+}
+
+func TestSolveLocalMaskedClient(t *testing.T) {
+	lp := localProblem(1, []float64{-1e6, -1e6}, []float64{10, 10})
+	lp.Allowed[0] = false
+	p, err := SolveLocal(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 {
+		t.Fatalf("masked client served %g", p[0])
+	}
+	if math.Abs(p[1]-10) > 1e-9 {
+		t.Fatalf("allowed client got %g", p[1])
+	}
+}
+
+func TestSolveLocalValidate(t *testing.T) {
+	lp := localProblem(1, []float64{0}, []float64{1, 2})
+	if _, err := SolveLocal(lp); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := SolveLocal(&LocalProblem{}); err == nil {
+		t.Fatal("empty local problem accepted")
+	}
+}
+
+func TestMarginalLoad(t *testing.T) {
+	r := model.NewReplica("r", 2)
+	// marginal(S) = 2(1 + 0.03S²); at S=10: 2·4 = 8. Invert.
+	if got := marginalLoad(r, 8); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("marginalLoad(8) = %g, want 10", got)
+	}
+	// At or below the base marginal 2: zero load.
+	if got := marginalLoad(r, 2); got != 0 {
+		t.Fatalf("marginalLoad(base) = %g, want 0", got)
+	}
+	if got := marginalLoad(r, 1); got != 0 {
+		t.Fatalf("marginalLoad(below base) = %g, want 0", got)
+	}
+	// Linear replica (γ=1): constant marginal, infinite break-even.
+	r.Gamma = 1
+	if got := marginalLoad(r, 100); !math.IsInf(got, 1) {
+		t.Fatalf("γ=1 marginalLoad = %g, want +Inf", got)
+	}
+}
+
+// Property: water-filling matches projected gradient descent on random
+// local problems (the two independent solvers agree on the objective).
+func TestSolveLocalMatchesPGDProperty(t *testing.T) {
+	r := sim.NewRand(42)
+	for trial := 0; trial < 40; trial++ {
+		c := 1 + r.Intn(6)
+		mu := make([]float64, c)
+		demands := make([]float64, c)
+		allowed := make([]bool, c)
+		for i := 0; i < c; i++ {
+			mu[i] = r.Range(-40, 5)
+			demands[i] = r.Range(1, 30)
+			allowed[i] = r.Float64() < 0.85
+		}
+		lp := &LocalProblem{
+			Replica: model.NewReplica("r", float64(r.IntBetween(1, 20))),
+			Mu:      mu,
+			Demands: demands,
+			Allowed: allowed,
+		}
+		exact, err := SolveLocal(lp)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		approx, err := SolveLocalPGD(lp, 4000, 0.5)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fExact := LocalObjective(lp, exact)
+		fApprox := LocalObjective(lp, approx)
+		// The exact solver must never be worse than PGD (beyond noise).
+		if fExact > fApprox+1e-3*(1+math.Abs(fApprox)) {
+			t.Fatalf("trial %d: water-filling %g worse than PGD %g\nmu=%v demands=%v allowed=%v",
+				trial, fExact, fApprox, mu, demands, allowed)
+		}
+	}
+}
+
+// Property: the water-filling output satisfies the local KKT conditions.
+func TestSolveLocalKKTProperty(t *testing.T) {
+	r := sim.NewRand(77)
+	for trial := 0; trial < 60; trial++ {
+		c := 1 + r.Intn(5)
+		mu := make([]float64, c)
+		demands := make([]float64, c)
+		allowed := make([]bool, c)
+		for i := 0; i < c; i++ {
+			mu[i] = r.Range(-30, 2)
+			demands[i] = r.Range(1, 25)
+			allowed[i] = true
+		}
+		lp := &LocalProblem{
+			Replica: model.NewReplica("r", float64(r.IntBetween(1, 20))),
+			Mu:      mu,
+			Demands: demands,
+			Allowed: allowed,
+		}
+		p, err := SolveLocal(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		if s > lp.Replica.Bandwidth+1e-9 {
+			t.Fatalf("trial %d: capacity violated", trial)
+		}
+		atCapacity := s >= lp.Replica.Bandwidth-1e-9
+		marginal := lp.Replica.MarginalCost(s)
+		for i := 0; i < c; i++ {
+			g := marginal + mu[i] // ∂f/∂p_i
+			switch {
+			case p[i] < -1e-12 || p[i] > demands[i]+1e-9:
+				t.Fatalf("trial %d: box violated: p[%d]=%g", trial, i, p[i])
+			case p[i] <= 1e-9:
+				// At lower bound: gradient must be >= 0 (unless capacity
+				// binds, which also justifies zero).
+				if g < -1e-6 && !atCapacity {
+					t.Fatalf("trial %d: client %d at 0 with negative gradient %g", trial, i, g)
+				}
+			case p[i] >= demands[i]-1e-9:
+				// At cap: gradient must be <= 0.
+				if g > 1e-6 {
+					t.Fatalf("trial %d: client %d at cap with positive gradient %g", trial, i, g)
+				}
+			default:
+				// Interior: gradient ≈ 0 (or capacity binds).
+				if math.Abs(g) > 1e-5 && !atCapacity {
+					t.Fatalf("trial %d: client %d interior with gradient %g", trial, i, g)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveLocalPGDBadArgs(t *testing.T) {
+	lp := localProblem(1, []float64{0}, []float64{1})
+	if _, err := SolveLocalPGD(lp, 0, 1); err == nil {
+		t.Fatal("zero iters accepted")
+	}
+	if _, err := SolveLocalPGD(lp, 10, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}

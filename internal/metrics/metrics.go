@@ -1,0 +1,165 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harness and the live runtime share: response-time recorders with
+// percentile summaries, counters, and per-replica accumulators.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer records durations and summarizes them. Safe for concurrent use.
+type Timer struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one observation.
+func (t *Timer) Record(d time.Duration) {
+	t.mu.Lock()
+	t.samples = append(t.samples, d)
+	t.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// Summary describes a duration distribution.
+type Summary struct {
+	Count            int
+	Mean, P50, P95   time.Duration
+	Min, Max, StdDev time.Duration
+}
+
+// Summarize computes the distribution summary. An empty timer yields the
+// zero Summary.
+func (t *Timer) Summarize() Summary {
+	t.mu.Lock()
+	samples := make([]time.Duration, len(t.samples))
+	copy(samples, t.samples)
+	t.mu.Unlock()
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum, sumSq float64
+	for _, d := range samples {
+		f := float64(d)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(samples))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(samples),
+		Mean:   time.Duration(mean),
+		P50:    percentile(samples, 0.50),
+		P95:    percentile(samples, 0.95),
+		Min:    samples[0],
+		Max:    samples[len(samples)-1],
+		StdDev: time.Duration(math.Sqrt(variance)),
+	}
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted samples by
+// nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v min=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Counter is a concurrent event counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds delta (may be negative).
+func (c *Counter) Inc(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Accumulator sums float64 contributions per named key (e.g. per-replica
+// energy cost). Safe for concurrent use.
+type Accumulator struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{m: make(map[string]float64)}
+}
+
+// Add accumulates v under key.
+func (a *Accumulator) Add(key string, v float64) {
+	a.mu.Lock()
+	a.m[key] += v
+	a.mu.Unlock()
+}
+
+// Get returns the sum for key (0 if never added).
+func (a *Accumulator) Get(key string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m[key]
+}
+
+// Total sums all keys.
+func (a *Accumulator) Total() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0.0
+	for _, v := range a.m {
+		total += v
+	}
+	return total
+}
+
+// Keys returns the keys in sorted order.
+func (a *Accumulator) Keys() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]string, 0, len(a.m))
+	for k := range a.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimerSummary(t *testing.T) {
+	var tm Timer
+	for i := 1; i <= 100; i++ {
+		tm.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := tm.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Fatalf("P95 = %v, want 95ms", s.P95)
+	}
+	if s.Mean < 50*time.Millisecond || s.Mean > 51*time.Millisecond {
+		t.Fatalf("Mean = %v, want 50.5ms", s.Mean)
+	}
+	if s.StdDev <= 0 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestTimerEmpty(t *testing.T) {
+	var tm Timer
+	s := tm.Summarize()
+	if s.Count != 0 || s.Mean != 0 || s.P95 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if tm.Count() != 0 {
+		t.Fatal("Count != 0")
+	}
+}
+
+func TestTimerSingleSample(t *testing.T) {
+	var tm Timer
+	tm.Record(7 * time.Millisecond)
+	s := tm.Summarize()
+	if s.P50 != 7*time.Millisecond || s.P95 != 7*time.Millisecond || s.Min != s.Max {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+func TestTimerConcurrent(t *testing.T) {
+	var tm Timer
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tm.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if tm.Count() != 800 {
+		t.Fatalf("Count = %d, want 800", tm.Count())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var tm Timer
+	tm.Record(time.Millisecond)
+	s := tm.Summarize().String()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "mean=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(5)
+	c.Inc(-2)
+	if c.Value() != 3 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("Value = %d, want 16000", c.Value())
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator()
+	a.Add("replica1", 10)
+	a.Add("replica2", 5)
+	a.Add("replica1", 2.5)
+	if got := a.Get("replica1"); got != 12.5 {
+		t.Fatalf("Get(replica1) = %g", got)
+	}
+	if got := a.Get("ghost"); got != 0 {
+		t.Fatalf("Get(ghost) = %g", got)
+	}
+	if got := a.Total(); got != 17.5 {
+		t.Fatalf("Total = %g", got)
+	}
+	keys := a.Keys()
+	if len(keys) != 2 || keys[0] != "replica1" || keys[1] != "replica2" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"edr/internal/sim"
+)
+
+// Packet loss, the third selection criterion the paper's introduction
+// names ("lowest latency (or fastest data transfer), least packet loss,
+// etc."). Loss degrades a link two ways: retransmissions shrink the
+// effective bandwidth (TCP-like goodput ∝ 1/√loss beyond a knee), and
+// links above a tolerance are excluded from selection outright, composing
+// with the latency mask.
+
+// LossModel augments a Topology with per-link loss rates.
+type LossModel struct {
+	// Rate[c][n] is the packet loss probability in [0, 1) from client c
+	// to replica n.
+	Rate [][]float64
+	// MaxTolerable excludes links whose loss exceeds it from selection;
+	// 0 means DefaultMaxLoss.
+	MaxTolerable float64
+}
+
+// DefaultMaxLoss is the loss tolerance used when none is configured: 2%,
+// the point at which interactive transfers degrade noticeably.
+const DefaultMaxLoss = 0.02
+
+// Validate checks the loss matrix against a topology.
+func (l *LossModel) Validate(t *Topology) error {
+	if len(l.Rate) != len(t.ClientNames) {
+		return fmt.Errorf("netsim: loss has %d rows for %d clients", len(l.Rate), len(t.ClientNames))
+	}
+	for c, row := range l.Rate {
+		if len(row) != len(t.ReplicaNames) {
+			return fmt.Errorf("netsim: loss row %d has %d cols for %d replicas", c, len(row), len(t.ReplicaNames))
+		}
+		for n, p := range row {
+			if p < 0 || p >= 1 || math.IsNaN(p) {
+				return fmt.Errorf("netsim: loss[%d][%d] = %g outside [0, 1)", c, n, p)
+			}
+		}
+	}
+	if l.MaxTolerable < 0 || l.MaxTolerable >= 1 {
+		return fmt.Errorf("netsim: max tolerable loss %g outside [0, 1)", l.MaxTolerable)
+	}
+	return nil
+}
+
+func (l *LossModel) maxTolerable() float64 {
+	if l.MaxTolerable > 0 {
+		return l.MaxTolerable
+	}
+	return DefaultMaxLoss
+}
+
+// Allowed reports whether the link is within the loss tolerance.
+func (l *LossModel) Allowed(c, n int) bool {
+	return l.Rate[c][n] <= l.maxTolerable()
+}
+
+// Goodput returns the effective bandwidth of the link given the replica's
+// raw rate: below a 0.1% knee loss is negligible; above it goodput decays
+// with the Mathis 1/√p TCP law, normalized to 1 at the knee.
+func (l *LossModel) Goodput(rawMBps float64, c, n int) float64 {
+	p := l.Rate[c][n]
+	const knee = 0.001
+	if p <= knee {
+		return rawMBps
+	}
+	return rawMBps * math.Sqrt(knee/p)
+}
+
+// UniformLoss builds a loss model where most links are clean (loss drawn
+// in [0, knee]) and a fraction fracLossy are congested (loss in
+// [0.5%, 8%], straddling the tolerance).
+func UniformLoss(r *sim.Rand, t *Topology, fracLossy float64) *LossModel {
+	clients, replicas := len(t.ClientNames), len(t.ReplicaNames)
+	l := &LossModel{Rate: make([][]float64, clients)}
+	for c := 0; c < clients; c++ {
+		l.Rate[c] = make([]float64, replicas)
+		for n := 0; n < replicas; n++ {
+			if r.Float64() < fracLossy {
+				l.Rate[c][n] = r.Range(0.005, 0.08)
+			} else {
+				l.Rate[c][n] = r.Range(0, 0.001)
+			}
+		}
+	}
+	return l
+}
+
+// ApplyToLatency folds the loss mask into a latency matrix: links above
+// the tolerance are pushed beyond maxLatency so every existing solver
+// excludes them without new constraint machinery. The matrix is modified
+// in place and returned.
+func (l *LossModel) ApplyToLatency(latency [][]float64, maxLatency float64) [][]float64 {
+	for c := range latency {
+		for n := range latency[c] {
+			if !l.Allowed(c, n) {
+				latency[c][n] = 10 * maxLatency
+			}
+		}
+	}
+	return latency
+}

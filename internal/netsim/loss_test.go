@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/sim"
+)
+
+func TestUniformLossShapeAndRange(t *testing.T) {
+	r := sim.NewRand(1)
+	top := ClusterTopology(r, 10, 6)
+	l := UniformLoss(r, top, 0.3)
+	if err := l.Validate(top); err != nil {
+		t.Fatal(err)
+	}
+	lossy, clean := 0, 0
+	for c := range l.Rate {
+		for n := range l.Rate[c] {
+			p := l.Rate[c][n]
+			switch {
+			case p >= 0.005 && p <= 0.08:
+				lossy++
+			case p >= 0 && p <= 0.001:
+				clean++
+			default:
+				t.Fatalf("loss[%d][%d] = %g outside either band", c, n, p)
+			}
+		}
+	}
+	if lossy == 0 || clean == 0 {
+		t.Fatalf("bands unpopulated: lossy=%d clean=%d", lossy, clean)
+	}
+}
+
+func TestLossAllowedTolerance(t *testing.T) {
+	l := &LossModel{Rate: [][]float64{{0.01, 0.05}}}
+	if !l.Allowed(0, 0) {
+		t.Fatal("1% loss rejected at 2% default tolerance")
+	}
+	if l.Allowed(0, 1) {
+		t.Fatal("5% loss accepted at 2% default tolerance")
+	}
+	l.MaxTolerable = 0.10
+	if !l.Allowed(0, 1) {
+		t.Fatal("5% loss rejected at 10% tolerance")
+	}
+}
+
+func TestGoodputMathisDecay(t *testing.T) {
+	l := &LossModel{Rate: [][]float64{{0.0005, 0.001, 0.004, 0.016}}}
+	// Below the knee: full rate.
+	if got := l.Goodput(100, 0, 0); got != 100 {
+		t.Fatalf("clean link goodput = %g", got)
+	}
+	if got := l.Goodput(100, 0, 1); got != 100 {
+		t.Fatalf("knee link goodput = %g", got)
+	}
+	// 4× knee → half the rate; 16× knee → a quarter.
+	if got := l.Goodput(100, 0, 2); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("4×knee goodput = %g, want 50", got)
+	}
+	if got := l.Goodput(100, 0, 3); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("16×knee goodput = %g, want 25", got)
+	}
+}
+
+func TestLossValidateRejectsBadMatrices(t *testing.T) {
+	r := sim.NewRand(2)
+	top := ClusterTopology(r, 2, 2)
+	bad := &LossModel{Rate: [][]float64{{0.1, 0.1}}}
+	if err := bad.Validate(top); err == nil {
+		t.Fatal("short loss matrix accepted")
+	}
+	bad = &LossModel{Rate: [][]float64{{0.1}, {0.1}}}
+	if err := bad.Validate(top); err == nil {
+		t.Fatal("narrow loss matrix accepted")
+	}
+	bad = &LossModel{Rate: [][]float64{{0.1, 1.0}, {0.1, 0.1}}}
+	if err := bad.Validate(top); err == nil {
+		t.Fatal("loss = 1 accepted")
+	}
+	bad = &LossModel{Rate: [][]float64{{0.1, 0.1}, {0.1, 0.1}}, MaxTolerable: 2}
+	if err := bad.Validate(top); err == nil {
+		t.Fatal("tolerance >= 1 accepted")
+	}
+}
+
+func TestApplyToLatencyMasksLossyLinks(t *testing.T) {
+	l := &LossModel{Rate: [][]float64{{0.001, 0.05}}}
+	lat := [][]float64{{0.0005, 0.0005}}
+	maxLat := 0.0018
+	l.ApplyToLatency(lat, maxLat)
+	if lat[0][0] != 0.0005 {
+		t.Fatalf("clean link latency changed: %g", lat[0][0])
+	}
+	if lat[0][1] <= maxLat {
+		t.Fatalf("lossy link latency %g not pushed past the bound", lat[0][1])
+	}
+}

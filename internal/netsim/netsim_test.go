@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edr/internal/sim"
+)
+
+func TestClusterTopologyShape(t *testing.T) {
+	top := ClusterTopology(sim.NewRand(1), 4, 8)
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.ClientNames) != 4 || len(top.ReplicaNames) != 8 {
+		t.Fatalf("names: %d clients, %d replicas", len(top.ClientNames), len(top.ReplicaNames))
+	}
+	if top.ClientNames[0] != "client1" || top.ReplicaNames[7] != "replica8" {
+		t.Fatalf("naming scheme: %v %v", top.ClientNames, top.ReplicaNames)
+	}
+}
+
+func TestClusterTopologyAllFeasible(t *testing.T) {
+	top := ClusterTopology(sim.NewRand(2), 6, 5)
+	maxT := DefaultMaxLatency.Seconds()
+	for c := range top.LatencySec {
+		for n, l := range top.LatencySec[c] {
+			if l <= 0 || l > maxT {
+				t.Fatalf("latency[%d][%d] = %g outside (0, T]", c, n, l)
+			}
+		}
+	}
+	for n, b := range top.BandwidthMBps {
+		if b != DefaultBandwidthMBps {
+			t.Fatalf("bandwidth[%d] = %g", n, b)
+		}
+	}
+}
+
+func TestClusterTopologyDeterministic(t *testing.T) {
+	a := ClusterTopology(sim.NewRand(9), 3, 3)
+	b := ClusterTopology(sim.NewRand(9), 3, 3)
+	for c := range a.LatencySec {
+		for n := range a.LatencySec[c] {
+			if a.LatencySec[c][n] != b.LatencySec[c][n] {
+				t.Fatal("same seed produced different topologies")
+			}
+		}
+	}
+}
+
+func TestGeoTopologyHasInfeasibleLinks(t *testing.T) {
+	top := GeoTopology(sim.NewRand(3), 20, 6, 0.5)
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxT := DefaultMaxLatency.Seconds()
+	far := 0
+	for c := range top.LatencySec {
+		feasible := 0
+		for _, l := range top.LatencySec[c] {
+			if l > maxT {
+				far++
+			} else {
+				feasible++
+			}
+		}
+		if feasible < 2 {
+			t.Fatalf("client %d has only %d feasible replicas", c, feasible)
+		}
+	}
+	if far == 0 {
+		t.Fatal("GeoTopology produced no infeasible links at fracFar=0.5")
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	good := ClusterTopology(sim.NewRand(4), 2, 2)
+
+	top := *good
+	top.LatencySec = top.LatencySec[:1]
+	if err := top.Validate(); err == nil {
+		t.Fatal("short latency accepted")
+	}
+
+	top = *good
+	top.BandwidthMBps = []float64{100}
+	if err := top.Validate(); err == nil {
+		t.Fatal("short bandwidth accepted")
+	}
+
+	top = *good
+	top.BandwidthMBps = []float64{100, 0}
+	if err := top.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+
+	lat := [][]float64{{0.001, -0.001}, {0.001, 0.001}}
+	top = *good
+	top.LatencySec = lat
+	if err := top.Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+
+	empty := &Topology{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+}
+
+func TestLatencyAccessor(t *testing.T) {
+	top := ClusterTopology(sim.NewRand(5), 1, 1)
+	top.LatencySec[0][0] = 0.0015
+	if got := top.Latency(0, 0); got != 1500*time.Microsecond {
+		t.Fatalf("Latency = %v, want 1.5ms", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	top := ClusterTopology(sim.NewRand(6), 1, 1)
+	top.LatencySec[0][0] = 0.001
+	top.BandwidthMBps[0] = 100
+
+	// 10 MB at full share: 1ms + 100ms = 101ms.
+	d, err := top.TransferTime(0, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-0.101) > 1e-9 {
+		t.Fatalf("TransferTime = %v, want 101ms", d)
+	}
+
+	// Half share doubles the serialization component.
+	d, err = top.TransferTime(0, 0, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-0.201) > 1e-9 {
+		t.Fatalf("TransferTime at half share = %v, want 201ms", d)
+	}
+
+	// Zero bytes: latency only.
+	d, err = top.TransferTime(0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-0.001) > 1e-9 {
+		t.Fatalf("TransferTime(0 MB) = %v, want 1ms", d)
+	}
+}
+
+func TestTransferTimeBadArgs(t *testing.T) {
+	top := ClusterTopology(sim.NewRand(7), 1, 1)
+	if _, err := top.TransferTime(0, 0, -1, 1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := top.TransferTime(0, 0, 1, 0); err == nil {
+		t.Fatal("zero share accepted")
+	}
+	if _, err := top.TransferTime(0, 0, 1, 1.5); err == nil {
+		t.Fatal("share > 1 accepted")
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	if DefaultBandwidthMBps != 100 {
+		t.Fatalf("DefaultBandwidthMBps = %g, want 100", DefaultBandwidthMBps)
+	}
+	if DefaultMaxLatency != 1800*time.Microsecond {
+		t.Fatalf("DefaultMaxLatency = %v, want 1.8ms", DefaultMaxLatency)
+	}
+}

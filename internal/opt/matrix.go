@@ -1,0 +1,188 @@
+// Package opt is the convex-optimization toolkit underlying every solver in
+// this module: dense matrix helpers, Euclidean projections onto the
+// polytopes of the EDR replica-selection problem (simplexes, capped
+// simplexes, halfspaces, and their intersection via Dykstra's algorithm), a
+// max-flow feasibility oracle, and a projected-gradient reference method.
+//
+// Matrices are [][]float64 in row-major client×replica layout, matching the
+// paper's P = [p_{c,n}] with rows indexed by client c and columns by
+// replica n. Problem sizes in the paper are small (8 replicas, tens of
+// clients), so clarity is preferred over blocking/SIMD tricks; the hot
+// loops are still allocation-free.
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// NewMatrix allocates a rows×cols zero matrix backed by one contiguous
+// slice, so row data stays cache-adjacent.
+func NewMatrix(rows, cols int) [][]float64 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("opt: NewMatrix(%d, %d) with negative dimension", rows, cols))
+	}
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func Clone(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	cols := 0
+	if len(m) > 0 {
+		cols = len(m[0])
+	}
+	out := NewMatrix(len(m), cols)
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// Copy copies src into dst. Both must have identical shapes.
+func Copy(dst, src [][]float64) {
+	checkSameShape(dst, src, "Copy")
+	for i := range src {
+		copy(dst[i], src[i])
+	}
+}
+
+// Fill sets every entry of m to v.
+func Fill(m [][]float64, v float64) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = v
+		}
+	}
+}
+
+// Add computes dst += a element-wise.
+func Add(dst, a [][]float64) {
+	checkSameShape(dst, a, "Add")
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += a[i][j]
+		}
+	}
+}
+
+// Sub computes dst -= a element-wise.
+func Sub(dst, a [][]float64) {
+	checkSameShape(dst, a, "Sub")
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] -= a[i][j]
+		}
+	}
+}
+
+// AXPY computes dst += s·a element-wise.
+func AXPY(dst [][]float64, s float64, a [][]float64) {
+	checkSameShape(dst, a, "AXPY")
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += s * a[i][j]
+		}
+	}
+}
+
+// Scale multiplies every entry of m by s.
+func Scale(m [][]float64, s float64) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] *= s
+		}
+	}
+}
+
+// Dot returns the Frobenius inner product Σ a_{ij}·b_{ij}.
+func Dot(a, b [][]float64) float64 {
+	checkSameShape(a, b, "Dot")
+	sum := 0.0
+	for i := range a {
+		for j := range a[i] {
+			sum += a[i][j] * b[i][j]
+		}
+	}
+	return sum
+}
+
+// Norm returns the Frobenius norm of m.
+func Norm(m [][]float64) float64 {
+	sum := 0.0
+	for i := range m {
+		for j := range m[i] {
+			sum += m[i][j] * m[i][j]
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// Dist returns the Frobenius distance ‖a−b‖.
+func Dist(a, b [][]float64) float64 {
+	checkSameShape(a, b, "Dist")
+	sum := 0.0
+	for i := range a {
+		for j := range a[i] {
+			d := a[i][j] - b[i][j]
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ColSums returns the per-column sums Σ_c m[c][n] — the per-replica loads.
+func ColSums(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	sums := make([]float64, len(m[0]))
+	for i := range m {
+		for j, v := range m[i] {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// RowSums returns the per-row sums Σ_n m[c][n] — the per-client served load.
+func RowSums(m [][]float64) []float64 {
+	sums := make([]float64, len(m))
+	for i := range m {
+		for _, v := range m[i] {
+			sums[i] += v
+		}
+	}
+	return sums
+}
+
+// Mean averages the given matrices entry-wise with the given weights
+// (Σ w = 1 is the caller's responsibility) into dst. Used by the CDPSM
+// consensus step.
+func Mean(dst [][]float64, weights []float64, ms ...[][]float64) {
+	if len(weights) != len(ms) {
+		panic(fmt.Sprintf("opt: Mean got %d weights for %d matrices", len(weights), len(ms)))
+	}
+	Fill(dst, 0)
+	for k, m := range ms {
+		AXPY(dst, weights[k], m)
+	}
+}
+
+func checkSameShape(a, b [][]float64, op string) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("opt: %s shape mismatch: %d vs %d rows", op, len(a), len(b)))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			panic(fmt.Sprintf("opt: %s shape mismatch at row %d: %d vs %d cols", op, i, len(a[i]), len(b[i])))
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package opt
+
+import (
+	"testing"
+
+	"edr/internal/sim"
+)
+
+func TestCheckFeasibleSimple(t *testing.T) {
+	p := testProblem(t, []float64{1, 2}, []float64{50, 60})
+	if err := CheckFeasible(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFeasibleCapacityShortage(t *testing.T) {
+	p := testProblem(t, []float64{1, 2}, []float64{150, 100}) // 250 > 200 total
+	if err := CheckFeasible(p); err == nil {
+		t.Fatal("over-capacity instance accepted")
+	}
+}
+
+func TestCheckFeasibleLatencyPartition(t *testing.T) {
+	// Two clients, two replicas; each client can reach only one replica.
+	// Demands fit individually but client 0's replica is too small.
+	p := testProblem(t, []float64{1, 2}, []float64{120, 10})
+	p.Latency[0][1] = 0.01 // client 0 → replica 0 only (demand 120 > B=100)
+	p.Latency[1][0] = 0.01 // client 1 → replica 1 only
+	if err := CheckFeasible(p); err == nil {
+		t.Fatal("latency-partitioned infeasible instance accepted")
+	}
+	// Lower the stranded demand and it becomes feasible.
+	p.Demands[0] = 90
+	if err := CheckFeasible(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasiblePointIsFeasible(t *testing.T) {
+	p := testProblem(t, []float64{1, 8, 3}, []float64{80, 90, 30})
+	p.Latency[2][0] = 0.01
+	x, err := FeasiblePoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Violation(x); v > 1e-6 {
+		t.Fatalf("FeasiblePoint violation = %g", v)
+	}
+}
+
+func TestFeasiblePointInfeasibleInstance(t *testing.T) {
+	p := testProblem(t, []float64{1}, []float64{500})
+	if _, err := FeasiblePoint(p); err == nil {
+		t.Fatal("infeasible instance returned a point")
+	}
+}
+
+// Property: on random instances, CheckFeasible and FeasiblePoint agree,
+// and any returned point passes Violation.
+func TestFeasibilityOracleAgreementProperty(t *testing.T) {
+	r := sim.NewRand(777)
+	for trial := 0; trial < 60; trial++ {
+		clients := 1 + r.Intn(6)
+		replicas := 1 + r.Intn(5)
+		p := randomProblem(t, r, clients, replicas)
+		// Occasionally inflate demand to force infeasibility.
+		if r.Float64() < 0.3 {
+			p.Demands[0] += 1000
+		}
+		checkErr := CheckFeasible(p)
+		x, pointErr := FeasiblePoint(p)
+		if (checkErr == nil) != (pointErr == nil) {
+			t.Fatalf("trial %d: CheckFeasible=%v but FeasiblePoint=%v", trial, checkErr, pointErr)
+		}
+		if pointErr == nil {
+			if v := p.Violation(x); v > 1e-6 {
+				t.Fatalf("trial %d: feasible point violation %g", trial, v)
+			}
+		}
+	}
+}
+
+func TestMaxFlowTinyGraph(t *testing.T) {
+	// Classic diamond: s→a (3), s→b (2), a→t (2), b→t (3), a→b (1).
+	g := newFlowGraph(4)
+	s, a, b, tt := 0, 1, 2, 3
+	g.addEdge(s, a, 3)
+	g.addEdge(s, b, 2)
+	g.addEdge(a, tt, 2)
+	g.addEdge(b, tt, 3)
+	g.addEdge(a, b, 1)
+	if got := g.maxFlow(s, tt); got != 5 {
+		t.Fatalf("maxFlow = %g, want 5", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := newFlowGraph(2)
+	if got := g.maxFlow(0, 1); got != 0 {
+		t.Fatalf("maxFlow on disconnected graph = %g", got)
+	}
+}

@@ -1,0 +1,179 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/sim"
+)
+
+func TestMinCostAssignmentPicksCheapestColumn(t *testing.T) {
+	p := testProblem(t, []float64{1, 1}, []float64{50})
+	w := [][]float64{{1, 10}}
+	x, err := MinCostAssignment(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0][0]-50) > 1e-9 || x[0][1] != 0 {
+		t.Fatalf("assignment = %v, want all on cheap column", x)
+	}
+}
+
+func TestMinCostAssignmentSpillsAtCapacity(t *testing.T) {
+	p := testProblem(t, []float64{1, 1}, []float64{150})
+	w := [][]float64{{1, 10}}
+	x, err := MinCostAssignment(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0][0]-100) > 1e-9 || math.Abs(x[0][1]-50) > 1e-9 {
+		t.Fatalf("assignment = %v, want [100 50]", x)
+	}
+}
+
+func TestMinCostAssignmentRespectsMask(t *testing.T) {
+	p := testProblem(t, []float64{1, 1}, []float64{40})
+	p.Latency[0][0] = 0.01 // cheap column infeasible
+	w := [][]float64{{1, 10}}
+	x, err := MinCostAssignment(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0][0] != 0 || math.Abs(x[0][1]-40) > 1e-9 {
+		t.Fatalf("assignment = %v, want all on feasible column", x)
+	}
+}
+
+func TestMinCostAssignmentInfeasible(t *testing.T) {
+	p := testProblem(t, []float64{1, 1}, []float64{500})
+	w := [][]float64{{1, 1}}
+	if _, err := MinCostAssignment(p, w); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestMinCostAssignmentValidation(t *testing.T) {
+	p := testProblem(t, []float64{1, 1}, []float64{10})
+	if _, err := MinCostAssignment(p, [][]float64{{1}}); err == nil {
+		t.Fatal("narrow cost matrix accepted")
+	}
+	if _, err := MinCostAssignment(p, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("tall cost matrix accepted")
+	}
+	if _, err := MinCostAssignment(p, [][]float64{{-1, 2}}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+// Property: the min-cost assignment is feasible and no worse (in linear
+// cost) than random feasible points or the max-flow point.
+func TestMinCostAssignmentOptimalityProperty(t *testing.T) {
+	r := sim.NewRand(2024)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(t, r, 5, 4)
+		if CheckFeasible(p) != nil {
+			continue
+		}
+		w := NewMatrix(p.C(), p.N())
+		for c := range w {
+			for n := range w[c] {
+				w[c][n] = r.Range(0, 20)
+			}
+		}
+		x, err := MinCostAssignment(p, w)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if v := p.Violation(x); v > 1e-6 {
+			t.Fatalf("trial %d: violation %g", trial, v)
+		}
+		best := Dot(w, x)
+		// Compare against the max-flow feasible point and its Dykstra
+		// perturbations.
+		other, err := FeasiblePoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost := Dot(w, other); cost < best-1e-6*(1+math.Abs(best)) {
+			t.Fatalf("trial %d: max-flow point cheaper: %g < %g", trial, cost, best)
+		}
+	}
+}
+
+func TestFrankWolfeMatchesProjectedGradient(t *testing.T) {
+	r := sim.NewRand(31)
+	for trial := 0; trial < 8; trial++ {
+		p := randomProblem(t, r, 5, 4)
+		if CheckFeasible(p) != nil {
+			continue
+		}
+		fw, err := FrankWolfe(p, FWOptions{MaxIters: 800})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if v := p.Violation(fw.X); v > 1e-6 {
+			t.Fatalf("trial %d: FW iterate violation %g (must be exactly feasible)", trial, v)
+		}
+		start, err := p.UniformStart()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ProjectedGradient(p, start, PGDOptions{MaxIters: 4000, Step: DiminishingStep(2)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if fw.Objective > ref.Objective*1.02+1e-6 {
+			t.Fatalf("trial %d: FW %.4f vs PGD %.4f (>2%% gap)", trial, fw.Objective, ref.Objective)
+		}
+	}
+}
+
+func TestFrankWolfeGapCertificate(t *testing.T) {
+	p := testProblem(t, []float64{1, 8, 3}, []float64{40, 70, 20})
+	fw, err := FrankWolfe(p, FWOptions{MaxIters: 2000, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fw.Converged {
+		t.Fatalf("FW did not converge; gap %g after %d iterations", fw.Gap, fw.Iterations)
+	}
+	if fw.Gap < 0 {
+		t.Fatalf("negative duality gap %g", fw.Gap)
+	}
+	// The gap bounds suboptimality: f(x) − f* ≤ gap.
+	start, _ := p.UniformStart()
+	ref, err := ProjectedGradient(p, start, PGDOptions{MaxIters: 6000, Step: DiminishingStep(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Objective > ref.Objective+fw.Gap+1e-3*(1+ref.Objective) {
+		t.Fatalf("gap certificate violated: FW %g, ref %g, gap %g", fw.Objective, ref.Objective, fw.Gap)
+	}
+}
+
+func TestFrankWolfeInfeasible(t *testing.T) {
+	p := testProblem(t, []float64{1}, []float64{500})
+	if _, err := FrankWolfe(p, FWOptions{}); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestFrankWolfeGammaOneExactInOneStep(t *testing.T) {
+	// With γ=1 the objective is linear, so the min-cost start is already
+	// optimal and FW converges immediately.
+	p := testProblem(t, []float64{2, 7}, []float64{60})
+	for j := range p.System.Replicas {
+		p.System.Replicas[j].Gamma = 1
+	}
+	fw, err := FrankWolfe(p, FWOptions{MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fw.Converged || fw.Iterations > 2 {
+		t.Fatalf("linear objective took %d iterations (converged=%v)", fw.Iterations, fw.Converged)
+	}
+	// Everything on the cheap replica.
+	if math.Abs(fw.X[0][0]-60) > 1e-9 {
+		t.Fatalf("γ=1 optimum = %v, want all on cheap replica", fw.X)
+	}
+}

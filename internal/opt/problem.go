@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"edr/internal/model"
+)
+
+// Problem is one instance of the EDR replica-selection optimization
+// (paper Eq. 2): given clients with demands and a replica system with
+// prices/capacities, find the load split P minimizing total energy cost.
+type Problem struct {
+	// System carries the replica energy-model parameters (u, α, β, γ, B).
+	System *model.System
+	// Demands holds R_c, the requested traffic (MB) per client.
+	Demands []float64
+	// Latency holds l_{c,n} in seconds from client c to replica n.
+	Latency [][]float64
+	// MaxLatency is T, the user-defined maximum tolerable latency
+	// (seconds). Replicas with l_{c,n} > T may not serve client c.
+	MaxLatency float64
+}
+
+// Validate checks structural and numeric consistency.
+func (p *Problem) Validate() error {
+	if p.System == nil {
+		return fmt.Errorf("opt: problem has no system")
+	}
+	n := p.System.N()
+	if len(p.Demands) == 0 {
+		return fmt.Errorf("opt: problem has no clients")
+	}
+	for c, r := range p.Demands {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("opt: client %d demand %g invalid", c, r)
+		}
+	}
+	if len(p.Latency) != len(p.Demands) {
+		return fmt.Errorf("opt: latency has %d rows for %d clients", len(p.Latency), len(p.Demands))
+	}
+	for c, row := range p.Latency {
+		if len(row) != n {
+			return fmt.Errorf("opt: latency row %d has %d cols for %d replicas", c, len(row), n)
+		}
+		for j, l := range row {
+			if l < 0 || math.IsNaN(l) {
+				return fmt.Errorf("opt: latency[%d][%d] = %g invalid", c, j, l)
+			}
+		}
+	}
+	if p.MaxLatency <= 0 {
+		return fmt.Errorf("opt: non-positive max latency %g", p.MaxLatency)
+	}
+	return nil
+}
+
+// C returns the number of clients |C|.
+func (p *Problem) C() int { return len(p.Demands) }
+
+// N returns the number of replicas |N|.
+func (p *Problem) N() int { return p.System.N() }
+
+// Allowed returns the latency-feasibility mask: Allowed()[c][n] reports
+// whether replica n may serve client c (l_{c,n} ≤ T).
+func (p *Problem) Allowed() [][]bool {
+	mask := make([][]bool, p.C())
+	for c := range mask {
+		mask[c] = make([]bool, p.N())
+		for j := range mask[c] {
+			mask[c][j] = p.Latency[c][j] <= p.MaxLatency
+		}
+	}
+	return mask
+}
+
+// Cost evaluates the global objective E_g at assignment matrix x.
+func (p *Problem) Cost(x [][]float64) float64 {
+	cost, err := p.System.TotalCost(x)
+	if err != nil {
+		panic("opt: Cost on malformed matrix: " + err.Error())
+	}
+	return cost
+}
+
+// Energy evaluates total joules Σ E_n at assignment matrix x.
+func (p *Problem) Energy(x [][]float64) float64 {
+	e, err := p.System.TotalEnergy(x)
+	if err != nil {
+		panic("opt: Energy on malformed matrix: " + err.Error())
+	}
+	return e
+}
+
+// Gradient evaluates ∇E_g at x.
+func (p *Problem) Gradient(x [][]float64) [][]float64 {
+	g, err := p.System.Gradient(x)
+	if err != nil {
+		panic("opt: Gradient on malformed matrix: " + err.Error())
+	}
+	return g
+}
+
+// Violation quantifies constraint violation of x: the maximum over demand
+// shortfall/excess |Σ_n p_{c,n} − R_c|, capacity excess (Σ_c p_{c,n} − B_n)₊,
+// negativity (−p)₊, and latency-mask violations. A feasible point has
+// Violation ≈ 0.
+func (p *Problem) Violation(x [][]float64) float64 {
+	worst := 0.0
+	rows := RowSums(x)
+	for c, r := range rows {
+		worst = math.Max(worst, math.Abs(r-p.Demands[c]))
+	}
+	cols := ColSums(x)
+	for n, load := range cols {
+		worst = math.Max(worst, load-p.System.Replicas[n].Bandwidth)
+	}
+	mask := p.Allowed()
+	for c := range x {
+		for n, v := range x[c] {
+			worst = math.Max(worst, -v)
+			if !mask[c][n] {
+				worst = math.Max(worst, math.Abs(v))
+			}
+		}
+	}
+	return worst
+}
+
+// Feasible reports whether x satisfies every constraint within tol.
+func (p *Problem) Feasible(x [][]float64, tol float64) bool {
+	return p.Violation(x) <= tol
+}
+
+// UniformStart returns the canonical starting point: each client's demand
+// split evenly across its latency-feasible replicas. The result satisfies
+// demand, box, and mask constraints; capacities may be violated (solvers
+// project it before use). An error is returned if some client has no
+// feasible replica.
+func (p *Problem) UniformStart() ([][]float64, error) {
+	mask := p.Allowed()
+	x := NewMatrix(p.C(), p.N())
+	for c := range x {
+		feasible := 0
+		for _, ok := range mask[c] {
+			if ok {
+				feasible++
+			}
+		}
+		if feasible == 0 {
+			return nil, fmt.Errorf("opt: client %d has no replica within latency bound", c)
+		}
+		share := p.Demands[c] / float64(feasible)
+		for n, ok := range mask[c] {
+			if ok {
+				x[c][n] = share
+			}
+		}
+	}
+	return x, nil
+}
+
+// Caps returns per-entry upper bounds for row projections: p_{c,n} ≤ R_c
+// (a client never receives more than it asked for from any one replica).
+func (p *Problem) Caps() [][]float64 {
+	u := NewMatrix(p.C(), p.N())
+	for c := range u {
+		for n := range u[c] {
+			u[c][n] = p.Demands[c]
+		}
+	}
+	return u
+}

@@ -1,0 +1,154 @@
+// Package placement implements the content-placement restriction the
+// paper leaves to future work ("we plan to port EDR ... with more
+// restrictions other than bandwidth capacity and latency"): in a real
+// replicated store each content item lives on only a subset of replicas,
+// so a replica can serve a request only if it is within the latency bound
+// AND hosts the requested item. Placement composes with the existing
+// feasibility machinery as a second mask on p_{c,n}.
+package placement
+
+import (
+	"fmt"
+
+	"edr/internal/sim"
+	"edr/internal/workload"
+)
+
+// Map records which replicas host which content: Hosts[content] is the
+// set of replica indexes holding a copy.
+type Map struct {
+	// Replicas is |N|, the fleet size the map indexes into.
+	Replicas int
+	hosts    [][]int
+}
+
+// CatalogSize returns the number of placed content items.
+func (m *Map) CatalogSize() int { return len(m.hosts) }
+
+// Hosts returns the replica indexes hosting the item (a copy).
+func (m *Map) Hosts(content int) []int {
+	if content < 0 || content >= len(m.hosts) {
+		return nil
+	}
+	out := make([]int, len(m.hosts[content]))
+	copy(out, m.hosts[content])
+	return out
+}
+
+// Hosted reports whether replica n holds content.
+func (m *Map) Hosted(content, n int) bool {
+	if content < 0 || content >= len(m.hosts) {
+		return false
+	}
+	for _, h := range m.hosts[content] {
+		if h == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks invariants: every item on ≥1 replica, indexes in range,
+// no duplicates.
+func (m *Map) Validate() error {
+	if m.Replicas <= 0 {
+		return fmt.Errorf("placement: map over %d replicas", m.Replicas)
+	}
+	for c, hosts := range m.hosts {
+		if len(hosts) == 0 {
+			return fmt.Errorf("placement: content %d hosted nowhere", c)
+		}
+		seen := make(map[int]bool, len(hosts))
+		for _, h := range hosts {
+			if h < 0 || h >= m.Replicas {
+				return fmt.Errorf("placement: content %d on invalid replica %d", c, h)
+			}
+			if seen[h] {
+				return fmt.Errorf("placement: content %d lists replica %d twice", c, h)
+			}
+			seen[h] = true
+		}
+	}
+	return nil
+}
+
+// ReplicateK places every item on k distinct replicas chosen uniformly —
+// the classic fixed-replication-factor policy (e.g. HDFS's default 3).
+// k is clamped to [1, replicas].
+func ReplicateK(r *sim.Rand, catalog, replicas, k int) *Map {
+	if catalog <= 0 || replicas <= 0 {
+		panic(fmt.Sprintf("placement: ReplicateK(%d items, %d replicas)", catalog, replicas))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > replicas {
+		k = replicas
+	}
+	m := &Map{Replicas: replicas, hosts: make([][]int, catalog)}
+	for c := 0; c < catalog; c++ {
+		perm := r.Perm(replicas)
+		hosts := make([]int, k)
+		copy(hosts, perm[:k])
+		m.hosts[c] = hosts
+	}
+	return m
+}
+
+// PopularityAware places items proportionally to expected popularity:
+// the hottest items are fully replicated, the long tail gets minK copies.
+// ranks follow the workload's Zipf ordering (rank 0 = most popular).
+func PopularityAware(r *sim.Rand, catalog, replicas, minK int) *Map {
+	if catalog <= 0 || replicas <= 0 {
+		panic(fmt.Sprintf("placement: PopularityAware(%d items, %d replicas)", catalog, replicas))
+	}
+	if minK < 1 {
+		minK = 1
+	}
+	if minK > replicas {
+		minK = replicas
+	}
+	m := &Map{Replicas: replicas, hosts: make([][]int, catalog)}
+	for c := 0; c < catalog; c++ {
+		// Copies decay from all replicas (rank 0) toward minK.
+		k := replicas - (replicas-minK)*c/maxInt(catalog-1, 1)
+		perm := r.Perm(replicas)
+		hosts := make([]int, k)
+		copy(hosts, perm[:k])
+		m.hosts[c] = hosts
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AllowRequest reports whether replica n may serve the request under this
+// placement (in addition to any latency feasibility).
+func (m *Map) AllowRequest(req workload.Request, n int) bool {
+	return m.Hosted(req.Content, n)
+}
+
+// CoverageStats summarizes a placement: min/mean/max copies per item.
+func (m *Map) CoverageStats() (min, mean, max float64) {
+	if len(m.hosts) == 0 {
+		return 0, 0, 0
+	}
+	min = float64(m.Replicas + 1)
+	sum := 0.0
+	for _, hosts := range m.hosts {
+		k := float64(len(hosts))
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+		sum += k
+	}
+	return min, sum / float64(len(m.hosts)), max
+}

@@ -1,0 +1,173 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edr/internal/sim"
+	"edr/internal/workload"
+)
+
+func TestReplicateKBasics(t *testing.T) {
+	r := sim.NewRand(1)
+	m := ReplicateK(r, 100, 8, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CatalogSize() != 100 {
+		t.Fatalf("catalog = %d", m.CatalogSize())
+	}
+	min, mean, max := m.CoverageStats()
+	if min != 3 || mean != 3 || max != 3 {
+		t.Fatalf("coverage = %g/%g/%g, want exactly 3", min, mean, max)
+	}
+}
+
+func TestReplicateKClamping(t *testing.T) {
+	r := sim.NewRand(2)
+	m := ReplicateK(r, 10, 4, 99)
+	if _, mean, _ := m.CoverageStats(); mean != 4 {
+		t.Fatalf("over-replication not clamped: %g", mean)
+	}
+	m = ReplicateK(r, 10, 4, 0)
+	if _, mean, _ := m.CoverageStats(); mean != 1 {
+		t.Fatalf("under-replication not clamped: %g", mean)
+	}
+}
+
+func TestHostedAndHosts(t *testing.T) {
+	r := sim.NewRand(3)
+	m := ReplicateK(r, 5, 6, 2)
+	for c := 0; c < 5; c++ {
+		hosts := m.Hosts(c)
+		if len(hosts) != 2 {
+			t.Fatalf("content %d hosts = %v", c, hosts)
+		}
+		for _, h := range hosts {
+			if !m.Hosted(c, h) {
+				t.Fatalf("Hosted(%d, %d) = false for listed host", c, h)
+			}
+		}
+		others := 0
+		for n := 0; n < 6; n++ {
+			if !m.Hosted(c, n) {
+				others++
+			}
+		}
+		if others != 4 {
+			t.Fatalf("content %d non-hosts = %d, want 4", c, others)
+		}
+	}
+	// Out of range queries are safe.
+	if m.Hosted(-1, 0) || m.Hosted(99, 0) {
+		t.Fatal("out-of-range content reported hosted")
+	}
+	if m.Hosts(99) != nil {
+		t.Fatal("Hosts(99) != nil")
+	}
+}
+
+func TestHostsReturnsCopy(t *testing.T) {
+	r := sim.NewRand(4)
+	m := ReplicateK(r, 1, 4, 2)
+	h := m.Hosts(0)
+	h[0] = 99
+	if m.Hosts(0)[0] == 99 {
+		t.Fatal("Hosts exposes internal slice")
+	}
+}
+
+func TestPopularityAwareDecay(t *testing.T) {
+	r := sim.NewRand(5)
+	m := PopularityAware(r, 50, 8, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 fully replicated, tail at minK.
+	if got := len(m.Hosts(0)); got != 8 {
+		t.Fatalf("hottest item on %d replicas, want 8", got)
+	}
+	if got := len(m.Hosts(49)); got != 2 {
+		t.Fatalf("coldest item on %d replicas, want 2", got)
+	}
+	// Monotone non-increasing copies down the ranks.
+	prev := 9
+	for c := 0; c < 50; c++ {
+		k := len(m.Hosts(c))
+		if k > prev {
+			t.Fatalf("copies increased at rank %d: %d > %d", c, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestAllowRequest(t *testing.T) {
+	r := sim.NewRand(6)
+	m := ReplicateK(r, 10, 4, 1)
+	req := workload.Request{Content: 3}
+	host := m.Hosts(3)[0]
+	if !m.AllowRequest(req, host) {
+		t.Fatal("request denied at its host")
+	}
+	denied := 0
+	for n := 0; n < 4; n++ {
+		if !m.AllowRequest(req, n) {
+			denied++
+		}
+	}
+	if denied != 3 {
+		t.Fatalf("denied at %d replicas, want 3", denied)
+	}
+}
+
+// Property: ReplicateK placements always validate and have exact-k
+// coverage, for any seed and parameters.
+func TestReplicateKValidProperty(t *testing.T) {
+	f := func(seed uint64, catalogRaw, replicasRaw, kRaw uint8) bool {
+		catalog := 1 + int(catalogRaw)%50
+		replicas := 1 + int(replicasRaw)%10
+		k := int(kRaw) % 12
+		m := ReplicateK(sim.NewRand(seed), catalog, replicas, k)
+		if err := m.Validate(); err != nil {
+			return false
+		}
+		wantK := k
+		if wantK < 1 {
+			wantK = 1
+		}
+		if wantK > replicas {
+			wantK = replicas
+		}
+		min, _, max := m.CoverageStats()
+		return int(min) == wantK && int(max) == wantK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadMaps(t *testing.T) {
+	m := &Map{Replicas: 2, hosts: [][]int{{}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty host list accepted")
+	}
+	m = &Map{Replicas: 2, hosts: [][]int{{5}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	m = &Map{Replicas: 2, hosts: [][]int{{1, 1}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	m = &Map{Replicas: 0}
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero-replica map accepted")
+	}
+}
+
+func TestCoverageStatsEmpty(t *testing.T) {
+	m := &Map{Replicas: 3}
+	if min, mean, max := m.CoverageStats(); min != 0 || mean != 0 || max != 0 {
+		t.Fatal("empty map coverage nonzero")
+	}
+}

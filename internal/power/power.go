@@ -1,0 +1,150 @@
+// Package power emulates the paper's power instrumentation: a Dominion PX
+// intelligent PDU sampling each node's draw at ≈50 samples/second, with
+// energy obtained by integrating the sampled series and dollar cost by
+// applying the regional electricity price. It also downsamples series to
+// the one-second resolution of the paper's Fig. 3/4 runtime profiles.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"edr/internal/cluster"
+)
+
+// DefaultSampleHz matches the Dominion PX sampling rate used in §IV-A.2
+// ("approximately 50 times/sec").
+const DefaultSampleHz = 50.0
+
+// Sample is one metered point.
+type Sample struct {
+	// At is the sample instant.
+	At time.Time
+	// Watts is the instantaneous draw.
+	Watts float64
+}
+
+// Meter samples one node.
+type Meter struct {
+	// Node is the metered machine.
+	Node *cluster.Node
+	// SampleHz is the sampling rate; zero means DefaultSampleHz.
+	SampleHz float64
+}
+
+// NewMeter returns a Dominion-PX-style meter on node.
+func NewMeter(node *cluster.Node) *Meter {
+	return &Meter{Node: node, SampleHz: DefaultSampleHz}
+}
+
+// Sample reads the node's draw over [start, end) at the meter's rate.
+func (m *Meter) Sample(start, end time.Time) ([]Sample, error) {
+	if !end.After(start) {
+		return nil, fmt.Errorf("power: sample window [%v, %v) empty", start, end)
+	}
+	hz := m.SampleHz
+	if hz <= 0 {
+		hz = DefaultSampleHz
+	}
+	period := time.Duration(float64(time.Second) / hz)
+	if period <= 0 {
+		return nil, fmt.Errorf("power: sampling rate %g Hz too high", hz)
+	}
+	var samples []Sample
+	for t := start; t.Before(end); t = t.Add(period) {
+		samples = append(samples, Sample{At: t, Watts: m.Node.PowerAt(t)})
+	}
+	return samples, nil
+}
+
+// Energy integrates a sampled power series into joules using the
+// rectangle rule the PDU firmware effectively applies: each sample's draw
+// is held until the next sample (the final sample extends to end).
+func Energy(samples []Sample, end time.Time) float64 {
+	total := 0.0
+	for i, s := range samples {
+		var next time.Time
+		if i+1 < len(samples) {
+			next = samples[i+1].At
+		} else {
+			next = end
+		}
+		dt := next.Sub(s.At).Seconds()
+		if dt > 0 {
+			total += s.Watts * dt
+		}
+	}
+	return total
+}
+
+// NodeEnergy meters node over [start, end) at rate hz (0 = default) and
+// returns total joules.
+func NodeEnergy(node *cluster.Node, start, end time.Time, hz float64) (float64, error) {
+	m := &Meter{Node: node, SampleHz: hz}
+	samples, err := m.Sample(start, end)
+	if err != nil {
+		return 0, err
+	}
+	return Energy(samples, end), nil
+}
+
+// CostCents converts joules at a ¢/kWh price into cents:
+// 1 kWh = 3.6e6 J.
+func CostCents(joules, centsPerKWh float64) float64 {
+	return joules / 3.6e6 * centsPerKWh
+}
+
+// Downsample averages a sampled series into buckets of the given width —
+// the per-second resolution of Fig. 3/4. Bucket timestamps are the bucket
+// starts; empty buckets are skipped.
+func Downsample(samples []Sample, width time.Duration) []Sample {
+	if width <= 0 {
+		panic(fmt.Sprintf("power: Downsample width %v must be positive", width))
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	var out []Sample
+	origin := samples[0].At
+	bucket := 0
+	sum, count := 0.0, 0
+	flush := func() {
+		if count > 0 {
+			out = append(out, Sample{
+				At:    origin.Add(time.Duration(bucket) * width),
+				Watts: sum / float64(count),
+			})
+		}
+	}
+	for _, s := range samples {
+		b := int(s.At.Sub(origin) / width)
+		if b != bucket {
+			flush()
+			bucket = b
+			sum, count = 0, 0
+		}
+		sum += s.Watts
+		count++
+	}
+	flush()
+	return out
+}
+
+// Stats summarizes a series: min, mean, and max watts.
+func Stats(samples []Sample) (min, mean, max float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	min, max = samples[0].Watts, samples[0].Watts
+	sum := 0.0
+	for _, s := range samples {
+		if s.Watts < min {
+			min = s.Watts
+		}
+		if s.Watts > max {
+			max = s.Watts
+		}
+		sum += s.Watts
+	}
+	return min, sum / float64(len(samples)), max
+}

@@ -1,0 +1,183 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edr/internal/cluster"
+	"edr/internal/sim"
+)
+
+func TestMeterSampleRateAndCount(t *testing.T) {
+	n := cluster.NewSystemGNode("r")
+	m := NewMeter(n)
+	start := sim.Epoch
+	samples, err := m.Sample(start, start.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 50 {
+		t.Fatalf("1s at 50 Hz gave %d samples, want 50", len(samples))
+	}
+	if !samples[0].At.Equal(start) {
+		t.Fatalf("first sample at %v", samples[0].At)
+	}
+	if gap := samples[1].At.Sub(samples[0].At); gap != 20*time.Millisecond {
+		t.Fatalf("sample gap = %v, want 20ms", gap)
+	}
+}
+
+func TestMeterEmptyWindow(t *testing.T) {
+	m := NewMeter(cluster.NewSystemGNode("r"))
+	if _, err := m.Sample(sim.Epoch, sim.Epoch); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := m.Sample(sim.Epoch.Add(time.Second), sim.Epoch); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestEnergyIdleNode(t *testing.T) {
+	n := cluster.NewSystemGNode("r")
+	start := sim.Epoch
+	end := start.Add(10 * time.Second)
+	joules, err := NodeEnergy(n, start, end, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle draw 215 W for 10 s = 2150 J.
+	if math.Abs(joules-2150) > 1e-6 {
+		t.Fatalf("idle energy = %g J, want 2150", joules)
+	}
+}
+
+func TestEnergyStepProfile(t *testing.T) {
+	n := cluster.NewSystemGNode("r")
+	start := sim.Epoch
+	// Full utilization for the middle 5 of 10 seconds.
+	n.SetUtilization(start.Add(2*time.Second), 1)
+	n.SetUtilization(start.Add(7*time.Second), 0)
+	end := start.Add(10 * time.Second)
+	joules, err := NodeEnergy(n, start, end, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 215.0*10 + 25.0*5 // idle baseline + 5s of extra 25W
+	if math.Abs(joules-want) > 1 {
+		t.Fatalf("energy = %g J, want ~%g", joules, want)
+	}
+}
+
+func TestEnergyHigherRateSameAnswer(t *testing.T) {
+	n := cluster.NewSystemGNode("r")
+	start := sim.Epoch
+	n.SetUtilization(start.Add(time.Second), 0.7)
+	end := start.Add(4 * time.Second)
+	e50, err := NodeEnergy(n, start, end, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1000, err := NodeEnergy(n, start, end, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e50-e1000) > 2 {
+		t.Fatalf("sampling-rate sensitivity: %g vs %g J", e50, e1000)
+	}
+}
+
+func TestEnergyEmptySeries(t *testing.T) {
+	if got := Energy(nil, sim.Epoch); got != 0 {
+		t.Fatalf("Energy(nil) = %g", got)
+	}
+}
+
+func TestCostCents(t *testing.T) {
+	// 1 kWh at 8 ¢/kWh = 8 cents.
+	if got := CostCents(3.6e6, 8); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("CostCents(1 kWh, 8) = %g", got)
+	}
+	if got := CostCents(0, 20); got != 0 {
+		t.Fatalf("CostCents(0) = %g", got)
+	}
+}
+
+func TestDownsamplePerSecond(t *testing.T) {
+	n := cluster.NewSystemGNode("r")
+	start := sim.Epoch
+	n.SetUtilization(start.Add(time.Second), 1) // second #2 at peak
+	m := NewMeter(n)
+	samples, err := m.Sample(start, start.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := Downsample(samples, time.Second)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(buckets))
+	}
+	if math.Abs(buckets[0].Watts-215) > 1e-9 {
+		t.Fatalf("bucket 0 = %g W, want 215", buckets[0].Watts)
+	}
+	if math.Abs(buckets[1].Watts-240) > 1e-9 {
+		t.Fatalf("bucket 1 = %g W, want 240", buckets[1].Watts)
+	}
+}
+
+func TestDownsampleEmptyAndBadWidth(t *testing.T) {
+	if got := Downsample(nil, time.Second); got != nil {
+		t.Fatalf("Downsample(nil) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width did not panic")
+		}
+	}()
+	Downsample([]Sample{{}}, 0)
+}
+
+func TestStats(t *testing.T) {
+	samples := []Sample{{Watts: 215}, {Watts: 240}, {Watts: 225}}
+	min, mean, max := Stats(samples)
+	if min != 215 || max != 240 {
+		t.Fatalf("min/max = %g/%g", min, max)
+	}
+	if math.Abs(mean-226.666666) > 1e-3 {
+		t.Fatalf("mean = %g", mean)
+	}
+	min, mean, max = Stats(nil)
+	if min != 0 || mean != 0 || max != 0 {
+		t.Fatal("Stats(nil) nonzero")
+	}
+}
+
+// The meter must observe the valley/peak structure of Fig 3/4: idle
+// between activity bursts reads near 215 W, bursts near 240 W.
+func TestMeterSeesValleysAndPeaks(t *testing.T) {
+	n := cluster.NewSystemGNode("r")
+	start := sim.Epoch
+	// Three bursts separated by idle valleys.
+	for burst := 0; burst < 3; burst++ {
+		b := start.Add(time.Duration(burst*20) * time.Second)
+		n.SetUtilization(b, 1)
+		n.SetUtilization(b.Add(5*time.Second), 0)
+	}
+	m := NewMeter(n)
+	samples, err := m.Sample(start, start.Add(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSec := Downsample(samples, time.Second)
+	peaks, valleys := 0, 0
+	for _, s := range perSec {
+		switch {
+		case s.Watts > 239:
+			peaks++
+		case s.Watts < 216:
+			valleys++
+		}
+	}
+	if peaks < 10 || valleys < 30 {
+		t.Fatalf("peaks %d valleys %d: profile structure missing", peaks, valleys)
+	}
+}

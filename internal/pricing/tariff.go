@@ -1,0 +1,105 @@
+package pricing
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tariff is a time-of-use electricity price schedule for one region —
+// the dynamic-pricing extension of the paper's static u_n ("considering
+// data transfer under varied regional power costs"): EDR re-runs its
+// scheduling rounds as tariffs flip between peak and off-peak, shifting
+// load toward whichever regions are currently cheap.
+type Tariff struct {
+	// Name labels the region.
+	Name string
+	// BaseCentsPerKWh is the off-peak price.
+	BaseCentsPerKWh float64
+	// PeakCentsPerKWh is the price during the peak window.
+	PeakCentsPerKWh float64
+	// PeakStartHour and PeakEndHour bound the local peak window
+	// [start, end) in hours 0..24. A window wrapping midnight
+	// (start > end) is supported.
+	PeakStartHour, PeakEndHour int
+	// UTCOffsetHours shifts the region's local clock from the simulation
+	// clock, so geographically spread regions peak at different instants
+	// — the effect EDR's cost model exploits.
+	UTCOffsetHours int
+}
+
+// Validate checks the schedule.
+func (t Tariff) Validate() error {
+	switch {
+	case t.BaseCentsPerKWh <= 0:
+		return fmt.Errorf("pricing: tariff %q: base price %g", t.Name, t.BaseCentsPerKWh)
+	case t.PeakCentsPerKWh < t.BaseCentsPerKWh:
+		return fmt.Errorf("pricing: tariff %q: peak %g below base %g", t.Name, t.PeakCentsPerKWh, t.BaseCentsPerKWh)
+	case t.PeakStartHour < 0 || t.PeakStartHour > 23 || t.PeakEndHour < 0 || t.PeakEndHour > 24:
+		return fmt.Errorf("pricing: tariff %q: peak window [%d, %d)", t.Name, t.PeakStartHour, t.PeakEndHour)
+	}
+	return nil
+}
+
+// At returns the price in effect at the given simulation instant.
+func (t Tariff) At(at time.Time) float64 {
+	local := at.Add(time.Duration(t.UTCOffsetHours) * time.Hour)
+	h := local.Hour()
+	inPeak := false
+	if t.PeakStartHour <= t.PeakEndHour {
+		inPeak = h >= t.PeakStartHour && h < t.PeakEndHour
+	} else { // wraps midnight
+		inPeak = h >= t.PeakStartHour || h < t.PeakEndHour
+	}
+	if inPeak {
+		return t.PeakCentsPerKWh
+	}
+	return t.BaseCentsPerKWh
+}
+
+// Schedule is one tariff per replica.
+type Schedule []Tariff
+
+// Validate checks every tariff.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("pricing: empty tariff schedule")
+	}
+	for _, t := range s {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PricesAt snapshots the per-replica prices at an instant — the vector a
+// scheduling round at that instant should optimize against.
+func (s Schedule) PricesAt(at time.Time) []float64 {
+	prices := make([]float64, len(s))
+	for i, t := range s {
+		prices[i] = t.At(at)
+	}
+	return prices
+}
+
+// WorldSchedule builds a stylized n-region schedule: every region pays 3¢
+// off-peak and 15¢ during its local 17:00–22:00 evening peak, with UTC
+// offsets spread around the globe so at any instant some regions are
+// cheap — the arbitrage EDR's dynamic cost model is built to capture.
+func WorldSchedule(n int) Schedule {
+	if n <= 0 {
+		panic(fmt.Sprintf("pricing: WorldSchedule(%d)", n))
+	}
+	s := make(Schedule, n)
+	for i := range s {
+		s[i] = Tariff{
+			Name:            fmt.Sprintf("region%d", i+1),
+			BaseCentsPerKWh: 3,
+			PeakCentsPerKWh: 15,
+			PeakStartHour:   17,
+			PeakEndHour:     22,
+			UTCOffsetHours:  (i * 24) / n,
+		}
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+// Package probgen constructs replica-selection problem instances from the
+// substrate pieces (energy model, pricing, topology, workload) — the glue
+// used by tests, benchmarks, and every experiment harness.
+package probgen
+
+import (
+	"fmt"
+
+	"edr/internal/model"
+	"edr/internal/netsim"
+	"edr/internal/opt"
+	"edr/internal/placement"
+	"edr/internal/pricing"
+	"edr/internal/sim"
+	"edr/internal/workload"
+)
+
+// Spec describes an instance to generate.
+type Spec struct {
+	// Clients and Replicas set the problem dimensions (> 0).
+	Clients, Replicas int
+	// Prices are per-replica ¢/kWh; nil draws the paper's uniform [1,20].
+	Prices []float64
+	// Demands are per-client MB; nil draws uniformly from DemandRange.
+	Demands []float64
+	// DemandRange bounds random demands; zero means [5, 40].
+	DemandLo, DemandHi float64
+	// Geo switches from single-cluster to wide-area topology with
+	// latency-infeasible links.
+	Geo bool
+	// LossyFraction, when positive, draws a packet-loss model with that
+	// fraction of congested links (see netsim.UniformLoss) and folds
+	// links above the loss tolerance into the feasibility mask — the
+	// "least packet loss" criterion of the paper's introduction.
+	LossyFraction float64
+	// Gamma overrides γ_n for all replicas; 0 keeps the default 3.
+	Gamma float64
+}
+
+// New builds a validated problem instance from spec using randomness from r.
+func New(r *sim.Rand, spec Spec) (*opt.Problem, error) {
+	if spec.Clients <= 0 || spec.Replicas <= 0 {
+		return nil, fmt.Errorf("probgen: need positive dimensions, got %d clients %d replicas", spec.Clients, spec.Replicas)
+	}
+	prices := spec.Prices
+	if prices == nil {
+		prices = pricing.Uniform(r, spec.Replicas)
+	}
+	if len(prices) != spec.Replicas {
+		return nil, fmt.Errorf("probgen: %d prices for %d replicas", len(prices), spec.Replicas)
+	}
+	var top *netsim.Topology
+	if spec.Geo {
+		top = netsim.GeoTopology(r, spec.Clients, spec.Replicas, 0.3)
+	} else {
+		top = netsim.ClusterTopology(r, spec.Clients, spec.Replicas)
+	}
+	replicas := make([]model.Replica, spec.Replicas)
+	for j := range replicas {
+		rep := model.NewReplica(top.ReplicaNames[j], prices[j])
+		rep.Bandwidth = top.BandwidthMBps[j]
+		if spec.Gamma > 0 {
+			rep.Gamma = spec.Gamma
+		}
+		replicas[j] = rep
+	}
+	sys, err := model.NewSystem(replicas)
+	if err != nil {
+		return nil, err
+	}
+	demands := spec.Demands
+	if demands == nil {
+		lo, hi := spec.DemandLo, spec.DemandHi
+		if hi <= 0 {
+			lo, hi = 5, 40
+		}
+		demands = make([]float64, spec.Clients)
+		for c := range demands {
+			demands[c] = r.Range(lo, hi)
+		}
+	}
+	if len(demands) != spec.Clients {
+		return nil, fmt.Errorf("probgen: %d demands for %d clients", len(demands), spec.Clients)
+	}
+	prob := &opt.Problem{
+		System:     sys,
+		Demands:    demands,
+		Latency:    top.LatencySec,
+		MaxLatency: netsim.DefaultMaxLatency.Seconds(),
+	}
+	if spec.LossyFraction > 0 {
+		loss := netsim.UniformLoss(r, top, spec.LossyFraction)
+		if err := loss.Validate(top); err != nil {
+			return nil, err
+		}
+		loss.ApplyToLatency(prob.Latency, prob.MaxLatency)
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	return prob, nil
+}
+
+// MustFeasible builds instances until one passes the max-flow feasibility
+// oracle, retrying up to 50 draws. Deterministic given r's state.
+func MustFeasible(r *sim.Rand, spec Spec) (*opt.Problem, error) {
+	for attempt := 0; attempt < 50; attempt++ {
+		prob, err := New(r, spec)
+		if err != nil {
+			return nil, err
+		}
+		if opt.CheckFeasible(prob) == nil {
+			return prob, nil
+		}
+	}
+	return nil, fmt.Errorf("probgen: no feasible instance in 50 draws for %+v", spec)
+}
+
+// FromRequests builds an instance with one row *per request* (rather than
+// per client), masking each row by both the latency bound and a content
+// placement map: replica n may serve request i only if it is close enough
+// AND hosts the requested item — the additional restriction the paper's
+// future work calls for. A nil placement falls back to latency-only
+// masking.
+func FromRequests(r *sim.Rand, batch []workload.Request, replicas int, prices []float64, geo bool, pm *placement.Map) (*opt.Problem, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("probgen: empty batch")
+	}
+	if pm != nil {
+		if err := pm.Validate(); err != nil {
+			return nil, err
+		}
+		if pm.Replicas != replicas {
+			return nil, fmt.Errorf("probgen: placement map over %d replicas, want %d", pm.Replicas, replicas)
+		}
+	}
+	demands := make([]float64, len(batch))
+	for i, req := range batch {
+		demands[i] = req.SizeMB
+	}
+	prob, err := New(r, Spec{
+		Clients:  len(batch),
+		Replicas: replicas,
+		Prices:   prices,
+		Demands:  demands,
+		Geo:      geo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pm != nil {
+		// Encode the placement restriction through the latency mask: a
+		// replica not hosting the item is pushed beyond the bound, which
+		// every solver already respects.
+		for i, req := range batch {
+			for n := 0; n < replicas; n++ {
+				if !pm.AllowRequest(req, n) {
+					prob.Latency[i][n] = 10 * prob.MaxLatency
+				}
+			}
+		}
+	}
+	return prob, nil
+}
+
+// FromBatch builds an instance whose demands aggregate a workload batch —
+// one EDR scheduling round over live traffic.
+func FromBatch(r *sim.Rand, batch []workload.Request, replicas int, prices []float64, geo bool) (*opt.Problem, error) {
+	clients := 0
+	for _, req := range batch {
+		if req.Client+1 > clients {
+			clients = req.Client + 1
+		}
+	}
+	if clients == 0 {
+		return nil, fmt.Errorf("probgen: empty batch")
+	}
+	return New(r, Spec{
+		Clients:  clients,
+		Replicas: replicas,
+		Prices:   prices,
+		Demands:  workload.Demands(batch, clients),
+		Geo:      geo,
+	})
+}

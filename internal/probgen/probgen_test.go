@@ -1,0 +1,262 @@
+package probgen
+
+import (
+	"testing"
+	"time"
+
+	"edr/internal/opt"
+	"edr/internal/placement"
+	"edr/internal/pricing"
+	"edr/internal/sim"
+	"edr/internal/workload"
+)
+
+func TestNewBasic(t *testing.T) {
+	r := sim.NewRand(1)
+	prob, err := New(r, Spec{Clients: 5, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.C() != 5 || prob.N() != 3 {
+		t.Fatalf("dims = %dx%d", prob.C(), prob.N())
+	}
+	for _, d := range prob.Demands {
+		if d < 5 || d > 40 {
+			t.Fatalf("default demand %g outside [5,40]", d)
+		}
+	}
+	for _, rep := range prob.System.Replicas {
+		if rep.Price < pricing.MinPrice || rep.Price > pricing.MaxPrice {
+			t.Fatalf("price %g outside paper range", rep.Price)
+		}
+		if rep.Gamma != 3 {
+			t.Fatalf("gamma = %g", rep.Gamma)
+		}
+	}
+}
+
+func TestNewExplicitValues(t *testing.T) {
+	r := sim.NewRand(2)
+	prob, err := New(r, Spec{
+		Clients:  2,
+		Replicas: 2,
+		Prices:   []float64{4, 9},
+		Demands:  []float64{10, 20},
+		Gamma:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.System.Replicas[0].Price != 4 || prob.System.Replicas[1].Price != 9 {
+		t.Fatalf("prices not used: %+v", prob.System.Replicas)
+	}
+	if prob.Demands[0] != 10 || prob.Demands[1] != 20 {
+		t.Fatalf("demands not used: %v", prob.Demands)
+	}
+	if prob.System.Replicas[0].Gamma != 2 {
+		t.Fatalf("gamma override ignored: %g", prob.System.Replicas[0].Gamma)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	r := sim.NewRand(3)
+	if _, err := New(r, Spec{Clients: 0, Replicas: 2}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if _, err := New(r, Spec{Clients: 2, Replicas: 2, Prices: []float64{1}}); err == nil {
+		t.Fatal("short prices accepted")
+	}
+	if _, err := New(r, Spec{Clients: 2, Replicas: 2, Demands: []float64{1}}); err == nil {
+		t.Fatal("short demands accepted")
+	}
+}
+
+func TestGeoProducesMaskedLinks(t *testing.T) {
+	r := sim.NewRand(4)
+	prob, err := New(r, Spec{Clients: 20, Replicas: 6, Geo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := prob.Allowed()
+	masked := 0
+	for c := range mask {
+		for _, ok := range mask[c] {
+			if !ok {
+				masked++
+			}
+		}
+	}
+	if masked == 0 {
+		t.Fatal("geo instance has no infeasible links")
+	}
+}
+
+func TestMustFeasibleAlwaysFeasible(t *testing.T) {
+	r := sim.NewRand(5)
+	for trial := 0; trial < 20; trial++ {
+		prob, err := MustFeasible(r, Spec{Clients: 6, Replicas: 4, Geo: trial%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.CheckFeasible(prob); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestFromBatch(t *testing.T) {
+	r := sim.NewRand(6)
+	trace, err := workload.Generate(r, workload.Config{
+		App:             workload.DFS,
+		Clients:         5,
+		MeanRatePerHour: 1200,
+		Duration:        time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := trace[:20]
+	prob, err := FromBatch(r, batch, 4, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.N() != 4 {
+		t.Fatalf("replicas = %d", prob.N())
+	}
+	// Demands must aggregate the batch exactly.
+	want := workload.Demands(batch, prob.C())
+	for c, d := range prob.Demands {
+		if d != want[c] {
+			t.Fatalf("demand[%d] = %g, want %g", c, d, want[c])
+		}
+	}
+}
+
+func TestFromBatchEmpty(t *testing.T) {
+	r := sim.NewRand(7)
+	if _, err := FromBatch(r, nil, 3, nil, false); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := New(sim.NewRand(11), Spec{Clients: 4, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(sim.NewRand(11), Spec{Clients: 4, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Latency {
+		for n := range a.Latency[c] {
+			if a.Latency[c][n] != b.Latency[c][n] {
+				t.Fatal("same seed, different instances")
+			}
+		}
+	}
+}
+
+func TestFromRequestsPlacementMask(t *testing.T) {
+	r := sim.NewRand(21)
+	trace, err := workload.Generate(r, workload.Config{
+		App:             workload.DFS,
+		Clients:         5,
+		CatalogSize:     20,
+		MeanRatePerHour: 1200,
+		Duration:        time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := trace[:10]
+	pm := placement.ReplicateK(r, 20, 4, 2)
+	prob, err := FromRequests(r, batch, 4, nil, false, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.C() != 10 {
+		t.Fatalf("rows = %d, want one per request", prob.C())
+	}
+	mask := prob.Allowed()
+	for i, req := range batch {
+		if prob.Demands[i] != req.SizeMB {
+			t.Fatalf("row %d demand %g, want %g", i, prob.Demands[i], req.SizeMB)
+		}
+		allowed := 0
+		for n := 0; n < 4; n++ {
+			if mask[i][n] {
+				allowed++
+				if !pm.Hosted(req.Content, n) {
+					t.Fatalf("row %d allows non-hosting replica %d", i, n)
+				}
+			}
+		}
+		if allowed == 0 {
+			t.Fatalf("row %d has no allowed replica", i)
+		}
+	}
+}
+
+func TestFromRequestsNilPlacement(t *testing.T) {
+	r := sim.NewRand(22)
+	batch := []workload.Request{{Content: 0, SizeMB: 5}, {Content: 1, SizeMB: 7}}
+	prob, err := FromRequests(r, batch, 3, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := prob.Allowed()
+	for i := range batch {
+		for n := 0; n < 3; n++ {
+			if !mask[i][n] {
+				t.Fatalf("nil placement masked [%d][%d]", i, n)
+			}
+		}
+	}
+}
+
+func TestFromRequestsValidation(t *testing.T) {
+	r := sim.NewRand(23)
+	if _, err := FromRequests(r, nil, 3, nil, false, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	pm := placement.ReplicateK(r, 5, 4, 2)
+	batch := []workload.Request{{Content: 0, SizeMB: 5}}
+	if _, err := FromRequests(r, batch, 3, nil, false, pm); err == nil {
+		t.Fatal("replica-count mismatch accepted")
+	}
+}
+
+func TestLossyFractionMasksLinks(t *testing.T) {
+	r := sim.NewRand(31)
+	prob, err := New(r, Spec{Clients: 20, Replicas: 6, LossyFraction: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := prob.Allowed()
+	masked := 0
+	for c := range mask {
+		for _, ok := range mask[c] {
+			if !ok {
+				masked++
+			}
+		}
+	}
+	if masked == 0 {
+		t.Fatal("lossy instance has no masked links")
+	}
+	// Solvers still work when the instance is feasible.
+	if opt.CheckFeasible(prob) == nil {
+		x, err := opt.FrankWolfe(prob, opt.FWOptions{MaxIters: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range x.X {
+			for n, v := range x.X[c] {
+				if !mask[c][n] && v > 1e-9 {
+					t.Fatalf("loss-masked entry [%d][%d] = %g served", c, n, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package ring
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"edr/internal/transport"
+)
+
+// Monitor runs the heartbeat protocol for one member: it periodically
+// pings its current successor and, when a ping times out, declares the
+// successor dead, removes it locally, notifies every remaining member, and
+// invokes the OnFailure callback so the owner can re-run scheduling
+// (paper §III-C: "Once a replica malfunctions, the other replicas will
+// know and then remove this dead replica from their active member lists
+// and the ring structure. After that, EDR will perform the runtime
+// scheduling again based on the new ring of replicas.").
+type Monitor struct {
+	// Self is this member's name (its transport address).
+	Self string
+	// Ring is the shared membership view this monitor maintains.
+	Ring *Ring
+	// Node sends heartbeats and death notices.
+	Node transport.Node
+	// Interval between heartbeats; zero means 500ms.
+	Interval time.Duration
+	// Timeout for one heartbeat; zero means Interval/2.
+	Timeout time.Duration
+	// OnFailure, when non-nil, runs after a dead member has been removed
+	// and the survivors notified. It receives the dead member's name.
+	OnFailure func(dead string)
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// HeartbeatType and DeathType are the message types the protocol uses.
+// Owners must route them to HandleHeartbeat / HandleDeath.
+const (
+	HeartbeatType = "ring.heartbeat"
+	DeathType     = "ring.death"
+)
+
+// deathNotice is the body of a DeathType message.
+type deathNotice struct {
+	Dead string `json:"dead"`
+}
+
+// Start launches the heartbeat loop. Call Stop to end it.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.stopped.Add(1)
+	go m.loop(m.stop)
+}
+
+// Stop ends the heartbeat loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop := m.stop
+	m.stop = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		m.stopped.Wait()
+	}
+}
+
+func (m *Monitor) interval() time.Duration {
+	if m.Interval > 0 {
+		return m.Interval
+	}
+	return 500 * time.Millisecond
+}
+
+func (m *Monitor) timeout() time.Duration {
+	if m.Timeout > 0 {
+		return m.Timeout
+	}
+	return m.interval() / 2
+}
+
+func (m *Monitor) loop(stop chan struct{}) {
+	defer m.stopped.Done()
+	ticker := time.NewTicker(m.interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			m.Beat()
+		}
+	}
+}
+
+// Beat performs one heartbeat exchange with the current successor,
+// triggering failure handling on timeout. Exported so tests and
+// virtual-time harnesses can drive the protocol without real timers.
+func (m *Monitor) Beat() {
+	succ, ok := m.Ring.Successor(m.Self)
+	if !ok {
+		return // alone in the ring: nothing to watch
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout())
+	defer cancel()
+	req, err := transport.NewMessage(HeartbeatType, m.Self, nil)
+	if err != nil {
+		return
+	}
+	if _, err := m.Node.Send(ctx, succ, req); err != nil {
+		m.DeclareDead(succ)
+	}
+}
+
+// DeclareDead removes the member, notifies survivors, and fires OnFailure.
+// It is exported so the round initiator can prune a member it found dead
+// during coordination, not only via missed heartbeats.
+func (m *Monitor) DeclareDead(dead string) {
+	if !m.Ring.Remove(dead) {
+		return // someone else already handled it
+	}
+	notice, err := transport.NewMessage(DeathType, m.Self, deathNotice{Dead: dead})
+	if err == nil {
+		for _, member := range m.Ring.Members() {
+			if member == m.Self {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), m.timeout())
+			// Best effort: a peer that also died will be caught by its own
+			// predecessor's heartbeat.
+			_, _ = m.Node.Send(ctx, member, notice)
+			cancel()
+		}
+	}
+	if m.OnFailure != nil {
+		m.OnFailure(dead)
+	}
+}
+
+// HandleHeartbeat answers a heartbeat ping.
+func (m *Monitor) HandleHeartbeat(req transport.Message) (transport.Message, error) {
+	return transport.NewMessage(HeartbeatType+".ack", m.Self, nil)
+}
+
+// HandleDeath applies a death notice from a peer.
+func (m *Monitor) HandleDeath(req transport.Message) (transport.Message, error) {
+	var notice deathNotice
+	if err := req.DecodeBody(&notice); err != nil {
+		return transport.Message{}, err
+	}
+	if m.Ring.Remove(notice.Dead) && m.OnFailure != nil {
+		m.OnFailure(notice.Dead)
+	}
+	return transport.NewMessage(DeathType+".ack", m.Self, nil)
+}

@@ -1,0 +1,210 @@
+package ring
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"edr/internal/transport"
+)
+
+// testMember wires a Monitor to an in-process transport node.
+type testMember struct {
+	name    string
+	monitor *Monitor
+	node    transport.Node
+	mu      sync.Mutex
+	deaths  []string
+}
+
+func newTestMember(t *testing.T, net *transport.InProcNetwork, name string, members []string) *testMember {
+	t.Helper()
+	tm := &testMember{name: name}
+	tm.monitor = &Monitor{
+		Self:     name,
+		Ring:     New(members),
+		Interval: 10 * time.Millisecond,
+		Timeout:  5 * time.Millisecond,
+		OnFailure: func(dead string) {
+			tm.mu.Lock()
+			tm.deaths = append(tm.deaths, dead)
+			tm.mu.Unlock()
+		},
+	}
+	node, err := net.Listen(name, func(ctx context.Context, req transport.Message) (transport.Message, error) {
+		switch req.Type {
+		case HeartbeatType:
+			return tm.monitor.HandleHeartbeat(req)
+		case DeathType:
+			return tm.monitor.HandleDeath(req)
+		default:
+			return transport.Message{Type: "ok"}, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.node = node
+	tm.monitor.Node = node
+	return tm
+}
+
+func (tm *testMember) deathList() []string {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	out := make([]string, len(tm.deaths))
+	copy(out, tm.deaths)
+	return out
+}
+
+func TestMonitorHealthyRingNoFailures(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b", "c"}
+	members := make([]*testMember, 0, 3)
+	for _, n := range names {
+		members = append(members, newTestMember(t, net, n, names))
+	}
+	for _, m := range members {
+		for i := 0; i < 5; i++ {
+			m.monitor.Beat()
+		}
+	}
+	for _, m := range members {
+		if len(m.deathList()) != 0 {
+			t.Fatalf("%s observed deaths %v in healthy ring", m.name, m.deathList())
+		}
+		if m.monitor.Ring.Len() != 3 {
+			t.Fatalf("%s ring shrank to %d", m.name, m.monitor.Ring.Len())
+		}
+	}
+}
+
+func TestMonitorDetectsCrashAndNotifies(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b", "c"}
+	var members []*testMember
+	for _, n := range names {
+		members = append(members, newTestMember(t, net, n, names))
+	}
+	// Kill b. a's successor is b, so a's next beat detects it.
+	net.Crash("b")
+	members[0].monitor.Beat()
+
+	// a saw the death directly.
+	if got := members[0].deathList(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("a deaths = %v, want [b]", got)
+	}
+	// c was notified.
+	if got := members[2].deathList(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("c deaths = %v, want [b]", got)
+	}
+	// Both survivors closed the ring: a → c → a.
+	for _, m := range []*testMember{members[0], members[2]} {
+		if m.monitor.Ring.Contains("b") {
+			t.Fatalf("%s still lists b", m.name)
+		}
+		succ, ok := m.monitor.Ring.Successor(m.name)
+		if !ok {
+			t.Fatalf("%s has no successor", m.name)
+		}
+		if m.name == "a" && succ != "c" {
+			t.Fatalf("a's successor = %q, want c", succ)
+		}
+	}
+}
+
+func TestMonitorCascadedFailures(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b", "c", "d"}
+	var members []*testMember
+	for _, n := range names {
+		members = append(members, newTestMember(t, net, n, names))
+	}
+	// Kill b and c at once; a's beat finds b, then its next beat finds c.
+	net.Crash("b")
+	net.Crash("c")
+	members[0].monitor.Beat() // detects b, ring now a→c→d
+	members[0].monitor.Beat() // detects c, ring now a→d
+	if got := members[0].monitor.Ring.Len(); got != 2 {
+		t.Fatalf("ring size = %d after two failures, want 2", got)
+	}
+	if members[3].monitor.Ring.Contains("b") || members[3].monitor.Ring.Contains("c") {
+		t.Fatalf("d still lists dead members: %v", members[3].monitor.Ring.Members())
+	}
+	if got := members[0].deathList(); len(got) != 2 {
+		t.Fatalf("a deaths = %v", got)
+	}
+}
+
+func TestMonitorSingletonRingBeatIsNoop(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	m := newTestMember(t, net, "solo", []string{"solo"})
+	m.monitor.Beat() // must not panic or fail
+	if len(m.deathList()) != 0 {
+		t.Fatalf("solo deaths = %v", m.deathList())
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b"}
+	a := newTestMember(t, net, "a", names)
+	b := newTestMember(t, net, "b", names)
+	a.monitor.Start()
+	b.monitor.Start()
+	a.monitor.Start() // idempotent
+	time.Sleep(50 * time.Millisecond)
+	a.monitor.Stop()
+	b.monitor.Stop()
+	a.monitor.Stop() // idempotent
+	if len(a.deathList()) != 0 || len(b.deathList()) != 0 {
+		t.Fatalf("healthy pair saw deaths: %v %v", a.deathList(), b.deathList())
+	}
+}
+
+func TestMonitorLiveFailureDetection(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b"}
+	a := newTestMember(t, net, "a", names)
+	_ = newTestMember(t, net, "b", names)
+	a.monitor.Start()
+	defer a.monitor.Stop()
+	time.Sleep(30 * time.Millisecond) // healthy beats
+	net.Crash("b")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(a.deathList()) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := a.deathList(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("live detection failed: deaths = %v", got)
+	}
+}
+
+func TestHandleDeathIdempotent(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b", "c"}
+	a := newTestMember(t, net, "a", names)
+	notice, _ := transport.NewMessage(DeathType, "c", deathNotice{Dead: "b"})
+	if _, err := a.monitor.HandleDeath(notice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.monitor.HandleDeath(notice); err != nil {
+		t.Fatal(err)
+	}
+	// Only one OnFailure firing for the same death.
+	if got := a.deathList(); len(got) != 1 {
+		t.Fatalf("deaths = %v, want single entry", got)
+	}
+}
+
+func TestHandleDeathBadBody(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	a := newTestMember(t, net, "a", []string{"a", "b"})
+	if _, err := a.monitor.HandleDeath(transport.Message{Type: DeathType}); err == nil {
+		t.Fatal("empty death notice accepted")
+	}
+}

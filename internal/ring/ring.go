@@ -1,0 +1,133 @@
+// Package ring implements EDR's fault-tolerance structure (paper §III-C):
+// replicas are arranged in a logical ring, watch their successor with
+// heartbeats, and on a missed deadline remove the dead replica from their
+// "active member list", rebuild the ring, and notify the survivors so the
+// runtime can re-run scheduling on the new membership.
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ring is an ordered membership list. Members are kept sorted by name so
+// every node independently derives the same ring from the same member set.
+// Ring is safe for concurrent use.
+type Ring struct {
+	mu      sync.RWMutex
+	members []string
+}
+
+// New builds a ring over the given members (duplicates are collapsed).
+func New(members []string) *Ring {
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	return &Ring{members: uniq}
+}
+
+// Members returns a copy of the current membership in ring order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Len returns the current membership size.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Contains reports whether name is a live member.
+func (r *Ring) Contains(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.index(name) >= 0
+}
+
+// index returns name's position or -1. Caller holds the lock.
+func (r *Ring) index(name string) int {
+	i := sort.SearchStrings(r.members, name)
+	if i < len(r.members) && r.members[i] == name {
+		return i
+	}
+	return -1
+}
+
+// Successor returns the member after `of` in ring order, wrapping around.
+// It returns false when `of` is not a member or is the only member.
+func (r *Ring) Successor(of string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i := r.index(of)
+	if i < 0 || len(r.members) < 2 {
+		return "", false
+	}
+	return r.members[(i+1)%len(r.members)], true
+}
+
+// Remove deletes a member, reporting whether it was present. The remaining
+// ring closes over the gap — the successor relationship is recomputed on
+// the next Successor call.
+func (r *Ring) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.index(name)
+	if i < 0 {
+		return false
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	return true
+}
+
+// Add inserts a (re)joining member, reporting whether it was new.
+func (r *Ring) Add(name string) bool {
+	if name == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index(name) >= 0 {
+		return false
+	}
+	r.members = append(r.members, name)
+	sort.Strings(r.members)
+	return true
+}
+
+// Snapshot formats the ring for logs: "a → b → c → a".
+func (r *Ring) Snapshot() string {
+	members := r.Members()
+	if len(members) == 0 {
+		return "(empty ring)"
+	}
+	s := ""
+	for _, m := range members {
+		s += m + " → "
+	}
+	return s + members[0]
+}
+
+// Validate checks invariants (sortedness, uniqueness); it exists for tests
+// and debug assertions.
+func (r *Ring) Validate() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i := 1; i < len(r.members); i++ {
+		if r.members[i-1] >= r.members[i] {
+			return fmt.Errorf("ring: members out of order at %d: %q >= %q", i, r.members[i-1], r.members[i])
+		}
+	}
+	return nil
+}

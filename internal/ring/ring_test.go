@@ -1,0 +1,145 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	r := New([]string{"c", "a", "b", "a", ""})
+	members := r.Members()
+	want := []string{"a", "b", "c"}
+	if len(members) != 3 {
+		t.Fatalf("members = %v", members)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Fatalf("members = %v, want %v", members, want)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorWrapsAround(t *testing.T) {
+	r := New([]string{"a", "b", "c"})
+	cases := map[string]string{"a": "b", "b": "c", "c": "a"}
+	for of, want := range cases {
+		got, ok := r.Successor(of)
+		if !ok || got != want {
+			t.Fatalf("Successor(%q) = %q, %v; want %q", of, got, ok, want)
+		}
+	}
+}
+
+func TestSuccessorEdgeCases(t *testing.T) {
+	r := New([]string{"a"})
+	if _, ok := r.Successor("a"); ok {
+		t.Fatal("singleton ring has a successor")
+	}
+	if _, ok := r.Successor("ghost"); ok {
+		t.Fatal("non-member has a successor")
+	}
+}
+
+func TestRemoveClosesRing(t *testing.T) {
+	r := New([]string{"a", "b", "c"})
+	if !r.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if got, _ := r.Successor("a"); got != "c" {
+		t.Fatalf("after removal Successor(a) = %q, want c", got)
+	}
+	if r.Remove("b") {
+		t.Fatal("double remove reported true")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	r := New([]string{"a", "c"})
+	if !r.Add("b") {
+		t.Fatal("Add(b) = false")
+	}
+	if r.Add("b") {
+		t.Fatal("duplicate Add reported true")
+	}
+	if r.Add("") {
+		t.Fatal("empty name added")
+	}
+	if got, _ := r.Successor("a"); got != "b" {
+		t.Fatalf("Successor(a) = %q after Add(b)", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := New([]string{"x", "y"})
+	if !r.Contains("x") || r.Contains("z") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	if got := New(nil).Snapshot(); got != "(empty ring)" {
+		t.Fatalf("empty snapshot = %q", got)
+	}
+	if got := New([]string{"b", "a"}).Snapshot(); got != "a → b → a" {
+		t.Fatalf("snapshot = %q", got)
+	}
+}
+
+// Property: under any sequence of removals, the ring stays sorted, unique,
+// and every remaining member's successor chain visits all members exactly
+// once before returning.
+func TestRingInvariantsUnderFailuresProperty(t *testing.T) {
+	f := func(seed uint8, kills []uint8) bool {
+		names := []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"}
+		r := New(names)
+		for _, k := range kills {
+			r.Remove(names[int(k)%len(names)])
+			if err := r.Validate(); err != nil {
+				return false
+			}
+			members := r.Members()
+			if len(members) < 2 {
+				continue
+			}
+			// Walk the ring from the first member: must cycle through all.
+			visited := map[string]bool{}
+			cur := members[0]
+			for i := 0; i < len(members); i++ {
+				if visited[cur] {
+					return false
+				}
+				visited[cur] = true
+				next, ok := r.Successor(cur)
+				if !ok {
+					return false
+				}
+				cur = next
+			}
+			if cur != members[0] || len(visited) != len(members) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembersReturnsCopy(t *testing.T) {
+	r := New([]string{"a", "b"})
+	m := r.Members()
+	m[0] = "mutated"
+	if r.Members()[0] != "a" {
+		t.Fatal("Members exposes internal slice")
+	}
+}

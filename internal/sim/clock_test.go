@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualClockStartsAtEpoch(t *testing.T) {
+	c := NewVirtualClock()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), Epoch)
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	c.Advance(3 * time.Second)
+	if got := c.Since(Epoch); got != 3*time.Second {
+		t.Fatalf("Since(Epoch) = %v, want 3s", got)
+	}
+	c.Advance(500 * time.Millisecond)
+	if got := c.Since(Epoch); got != 3500*time.Millisecond {
+		t.Fatalf("Since(Epoch) = %v, want 3.5s", got)
+	}
+}
+
+func TestVirtualClockAdvanceZero(t *testing.T) {
+	c := NewVirtualClock()
+	c.Advance(0)
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("Advance(0) moved the clock to %v", c.Now())
+	}
+}
+
+func TestVirtualClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewVirtualClock().Advance(-time.Nanosecond)
+}
+
+func TestVirtualClockAdvanceToBackwardIsNoop(t *testing.T) {
+	c := NewVirtualClock()
+	c.Advance(10 * time.Second)
+	c.AdvanceTo(Epoch.Add(5 * time.Second))
+	if got := c.Since(Epoch); got != 10*time.Second {
+		t.Fatalf("AdvanceTo backwards moved clock: Since = %v", got)
+	}
+}
+
+func TestVirtualClockAt(t *testing.T) {
+	start := Epoch.Add(time.Hour)
+	c := NewVirtualClockAt(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+}
+
+func TestVirtualClockConcurrentAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	done := make(chan struct{})
+	const workers, steps = 8, 1000
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := 0; j < steps; j++ {
+				c.Advance(time.Microsecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	if got, want := c.Since(Epoch), workers*steps*time.Microsecond; got != want {
+		t.Fatalf("concurrent Advance lost updates: Since = %v, want %v", got, want)
+	}
+}
+
+func TestWallClockMovesForward(t *testing.T) {
+	var c WallClock
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock moved backwards: %v then %v", a, b)
+	}
+}

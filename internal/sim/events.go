@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a unit of work scheduled at a virtual instant. The callback runs
+// with the event loop's clock already advanced to At.
+type Event struct {
+	At   time.Time
+	Name string
+	Fn   func()
+
+	seq   uint64 // tie-break so equal-time events run in schedule order
+	index int    // heap bookkeeping
+}
+
+// eventQueue is a min-heap of events ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Loop is a single-threaded discrete-event loop over a VirtualClock.
+// Events scheduled during execution of another event are run in time order.
+// Loop is not safe for concurrent use; it models one sequential timeline.
+type Loop struct {
+	Clock *VirtualClock
+	queue eventQueue
+	seq   uint64
+	ran   int
+}
+
+// NewLoop returns an event loop on a fresh virtual clock at Epoch.
+func NewLoop() *Loop {
+	return &Loop{Clock: NewVirtualClock()}
+}
+
+// At schedules fn to run when the clock reaches t. Scheduling in the past
+// (before the clock's current instant) is allowed and runs at the current
+// instant, preserving submission order among same-time events.
+func (l *Loop) At(t time.Time, name string, fn func()) *Event {
+	if now := l.Clock.Now(); t.Before(now) {
+		t = now
+	}
+	e := &Event{At: t, Name: name, Fn: fn, seq: l.seq}
+	l.seq++
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the clock's current instant.
+func (l *Loop) After(d time.Duration, name string, fn func()) *Event {
+	return l.At(l.Clock.Now().Add(d), name, fn)
+}
+
+// Every schedules fn to run repeatedly with period d, starting one period
+// from now, until fn returns false or the loop drains by other means.
+func (l *Loop) Every(d time.Duration, name string, fn func() bool) {
+	if d <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			l.After(d, name, tick)
+		}
+	}
+	l.After(d, name, tick)
+}
+
+// Pending reports the number of events still queued.
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Ran reports the number of events executed so far.
+func (l *Loop) Ran() int { return l.ran }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// deadline first. It reports whether an event was run.
+func (l *Loop) Step() bool {
+	if len(l.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.queue).(*Event)
+	l.Clock.AdvanceTo(e.At)
+	l.ran++
+	e.Fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning the number run.
+// maxEvents bounds runaway self-scheduling loops; maxEvents <= 0 means
+// no bound.
+func (l *Loop) Run(maxEvents int) int {
+	n := 0
+	for l.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with deadlines at or before t, then advances the
+// clock to t. Events scheduled beyond t remain queued.
+func (l *Loop) RunUntil(t time.Time) int {
+	n := 0
+	for len(l.queue) > 0 && !l.queue[0].At.After(t) {
+		l.Step()
+		n++
+	}
+	l.Clock.AdvanceTo(t)
+	return n
+}

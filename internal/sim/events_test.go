@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoopRunsEventsInTimeOrder(t *testing.T) {
+	l := NewLoop()
+	var order []string
+	l.After(3*time.Second, "c", func() { order = append(order, "c") })
+	l.After(1*time.Second, "a", func() { order = append(order, "a") })
+	l.After(2*time.Second, "b", func() { order = append(order, "b") })
+	l.Run(0)
+	if got := len(order); got != 3 {
+		t.Fatalf("ran %d events, want 3", got)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want [a b c]", order)
+		}
+	}
+}
+
+func TestLoopEqualTimesRunInScheduleOrder(t *testing.T) {
+	l := NewLoop()
+	var order []int
+	at := Epoch.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(at, "e", func() { order = append(order, i) })
+	}
+	l.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestLoopClockAdvancesToEventDeadline(t *testing.T) {
+	l := NewLoop()
+	var at time.Time
+	l.After(5*time.Second, "e", func() { at = l.Clock.Now() })
+	l.Run(0)
+	if want := Epoch.Add(5 * time.Second); !at.Equal(want) {
+		t.Fatalf("callback saw clock %v, want %v", at, want)
+	}
+}
+
+func TestLoopEventSchedulingDuringRun(t *testing.T) {
+	l := NewLoop()
+	var hits []time.Duration
+	l.After(time.Second, "outer", func() {
+		hits = append(hits, l.Clock.Since(Epoch))
+		l.After(time.Second, "inner", func() {
+			hits = append(hits, l.Clock.Since(Epoch))
+		})
+	})
+	l.Run(0)
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 2*time.Second {
+		t.Fatalf("hits = %v, want [1s 2s]", hits)
+	}
+}
+
+func TestLoopSchedulingInPastRunsNow(t *testing.T) {
+	l := NewLoop()
+	l.Clock.Advance(10 * time.Second)
+	var at time.Time
+	l.At(Epoch, "past", func() { at = l.Clock.Now() })
+	l.Run(0)
+	if want := Epoch.Add(10 * time.Second); !at.Equal(want) {
+		t.Fatalf("past event ran at %v, want %v (current instant)", at, want)
+	}
+}
+
+func TestLoopRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	l := NewLoop()
+	ran := 0
+	l.After(1*time.Second, "a", func() { ran++ })
+	l.After(5*time.Second, "b", func() { ran++ })
+	n := l.RunUntil(Epoch.Add(2 * time.Second))
+	if n != 1 || ran != 1 {
+		t.Fatalf("RunUntil ran %d events (counter %d), want 1", n, ran)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", l.Pending())
+	}
+	if got := l.Clock.Since(Epoch); got != 2*time.Second {
+		t.Fatalf("clock = %v after RunUntil, want 2s", got)
+	}
+}
+
+func TestLoopEvery(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	l.Every(time.Second, "tick", func() bool {
+		count++
+		return count < 5
+	})
+	l.Run(0)
+	if count != 5 {
+		t.Fatalf("Every ticked %d times, want 5", count)
+	}
+	if got := l.Clock.Since(Epoch); got != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", got)
+	}
+}
+
+func TestLoopEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewLoop().Every(0, "bad", func() bool { return false })
+}
+
+func TestLoopRunMaxEventsBounds(t *testing.T) {
+	l := NewLoop()
+	var tick func()
+	tick = func() { l.After(time.Millisecond, "t", tick) } // self-perpetuating
+	l.After(time.Millisecond, "t", tick)
+	n := l.Run(100)
+	if n != 100 {
+		t.Fatalf("Run(100) executed %d events", n)
+	}
+}
+
+func TestLoopStepOnEmptyQueue(t *testing.T) {
+	l := NewLoop()
+	if l.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+	if l.Ran() != 0 {
+		t.Fatalf("Ran = %d, want 0", l.Ran())
+	}
+}

@@ -1,0 +1,77 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+
+	"edr/internal/model"
+	"edr/internal/opt"
+)
+
+func testProblem(t *testing.T) *opt.Problem {
+	t.Helper()
+	sys, err := model.NewSystem([]model.Replica{
+		model.NewReplica("a", 1),
+		model.NewReplica("b", 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &opt.Problem{
+		System:     sys,
+		Demands:    []float64{10, 20},
+		Latency:    [][]float64{{0.001, 0.001}, {0.001, 0.001}},
+		MaxLatency: 0.0018,
+	}
+}
+
+func TestVerifyAcceptsFeasible(t *testing.T) {
+	prob := testProblem(t)
+	res := &Result{Assignment: [][]float64{{5, 5}, {10, 10}}}
+	if err := Verify(prob, res, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsNil(t *testing.T) {
+	prob := testProblem(t)
+	if err := Verify(prob, nil, 1e-9); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if err := Verify(prob, &Result{}, 1e-9); err == nil {
+		t.Fatal("nil assignment accepted")
+	}
+}
+
+func TestVerifyRejectsWrongShape(t *testing.T) {
+	prob := testProblem(t)
+	res := &Result{Assignment: [][]float64{{5, 5}}}
+	if err := Verify(prob, res, 1e-9); err == nil || !strings.Contains(err.Error(), "rows") {
+		t.Fatalf("short assignment: %v", err)
+	}
+	res = &Result{Assignment: [][]float64{{5}, {10}}}
+	if err := Verify(prob, res, 1e-9); err == nil || !strings.Contains(err.Error(), "cols") {
+		t.Fatalf("narrow assignment: %v", err)
+	}
+}
+
+func TestVerifyRejectsInfeasible(t *testing.T) {
+	prob := testProblem(t)
+	// Demand violated: client 0 served 8 of 10.
+	res := &Result{Assignment: [][]float64{{4, 4}, {10, 10}}}
+	if err := Verify(prob, res, 1e-6); err == nil {
+		t.Fatal("infeasible assignment accepted")
+	}
+	// But a loose tolerance accepts it.
+	if err := Verify(prob, res, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommStatsAdd(t *testing.T) {
+	a := CommStats{Messages: 3, Scalars: 10}
+	a.Add(CommStats{Messages: 2, Scalars: 7})
+	if a.Messages != 5 || a.Scalars != 17 {
+		t.Fatalf("Add = %+v", a)
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace renders experiment outputs as CSV tables and aligned-text
+// summaries — the machine- and human-readable forms of every figure this
+// module regenerates.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Table is a rectangular result set with named columns.
+type Table struct {
+	// Name labels the table (e.g. "fig6-video-streaming").
+	Name string
+	// Columns are the header names.
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given columns.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, floats compactly.
+func (t *Table) AddRow(values ...any) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("trace: row has %d values for %d columns", len(values), len(t.Columns))
+	}
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', 8, 64)
+		case float32:
+			row[i] = strconv.FormatFloat(float64(x), 'g', 8, 32)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) []string {
+	out := make([]string, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to dir/<name>.csv, creating dir if needed.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("trace: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, t.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Render formats the table as aligned text for terminal output.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintf(w, "## %s\n%s\n", t.Name, line(t.Columns)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths))); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	return total + 2*(len(widths)-1)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableCSVRoundTrip(t *testing.T) {
+	tab := NewTable("test", "replica", "cost")
+	if err := tab.AddRow("replica1", 123.456); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("replica2", 7.0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %v", lines)
+	}
+	if lines[0] != "replica,cost" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "replica1,123.456") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestAddRowWrongArity(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	if err := tab.AddRow(1); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestRowsAndRowCopy(t *testing.T) {
+	tab := NewTable("t", "a")
+	tab.AddRow("x")
+	if tab.Rows() != 1 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+	r := tab.Row(0)
+	r[0] = "mutated"
+	if tab.Row(0)[0] != "x" {
+		t.Fatal("Row exposes internal slice")
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	tab := NewTable("fig6", "replica", "lddm", "cdpsm", "rr")
+	tab.AddRow("replica1", 1.0, 2.0, 3.0)
+	path, err := tab.SaveCSV(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "replica1,1,2,3") {
+		t.Fatalf("file content = %q", data)
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("a", 1.0)
+	tab.AddRow("longname", 22.5)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## demo") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "longname") {
+		t.Fatalf("missing row: %q", out)
+	}
+	// Header columns aligned: "name" padded to width of "longname".
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "name    ") {
+		t.Fatalf("header not padded: %q", lines[1])
+	}
+}
+
+func TestFloat32Formatting(t *testing.T) {
+	tab := NewTable("t", "v")
+	tab.AddRow(float32(2.5))
+	if got := tab.Row(0)[0]; got != "2.5" {
+		t.Fatalf("float32 formatted as %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the wire decoder against malformed input: it must
+// either return a valid message or an error — never panic or over-read.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with valid frames and near-valid corruptions.
+	var valid bytes.Buffer
+	m, _ := NewMessage("replica.solution", "r1", []float64{1, 2, 3})
+	_ = WriteFrame(&valid, m)
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 3, '{', '}', '!'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame must re-encode.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if back.Type != msg.Type || back.From != msg.From {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", back, msg)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// InProcNetwork is a deterministic in-process fabric: Sends invoke the
+// destination handler directly on the caller's goroutine. It supports
+// fault injection (dropping a node simulates a crash) and an optional
+// per-hop delay function for latency modeling, making it the substrate for
+// unit tests and virtual-time experiments.
+type InProcNetwork struct {
+	mu    sync.RWMutex
+	nodes map[string]*inprocNode
+
+	// Delay, when non-nil, returns the artificial one-way delay between
+	// two nodes; Send sleeps 2× (request + response). Nil means instant.
+	Delay func(from, to string) time.Duration
+}
+
+// NewInProcNetwork returns an empty in-process fabric.
+func NewInProcNetwork() *InProcNetwork {
+	return &InProcNetwork{nodes: make(map[string]*inprocNode)}
+}
+
+type inprocNode struct {
+	name    string
+	net     *InProcNetwork
+	handler Handler
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Listen registers a node. Re-registering a live name is an error.
+func (n *InProcNetwork) Listen(name string, h Handler) (Node, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: inproc listen %q: nil handler", name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[name]; ok {
+		return nil, fmt.Errorf("transport: inproc listen: %q already registered", name)
+	}
+	node := &inprocNode{name: name, net: n, handler: h}
+	n.nodes[name] = node
+	return node, nil
+}
+
+// Crash forcibly removes a node from the fabric without its cooperation,
+// simulating a machine failure: in-flight and future Sends to it fail.
+func (n *InProcNetwork) Crash(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node, ok := n.nodes[name]; ok {
+		node.mu.Lock()
+		node.closed = true
+		node.mu.Unlock()
+		delete(n.nodes, name)
+	}
+}
+
+// Names returns the currently registered node names.
+func (n *InProcNetwork) Names() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	return names
+}
+
+func (nd *inprocNode) Name() string { return nd.name }
+
+func (nd *inprocNode) Send(ctx context.Context, to string, req Message) (Message, error) {
+	nd.mu.Lock()
+	closed := nd.closed
+	nd.mu.Unlock()
+	if closed {
+		return Message{}, ErrClosed
+	}
+	nd.net.mu.RLock()
+	dest, ok := nd.net.nodes[to]
+	delay := nd.net.Delay
+	nd.net.mu.RUnlock()
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if delay != nil {
+		d := delay(nd.name, to) + delay(to, nd.name)
+		if d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return Message{}, ctx.Err()
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	dest.mu.Lock()
+	destClosed := dest.closed
+	handler := dest.handler
+	dest.mu.Unlock()
+	if destClosed {
+		return Message{}, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	req.From = nd.name
+	return handler(ctx, req)
+}
+
+func (nd *inprocNode) Close() error {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil
+	}
+	nd.closed = true
+	nd.mu.Unlock()
+	nd.net.mu.Lock()
+	delete(nd.net.nodes, nd.name)
+	nd.net.mu.Unlock()
+	return nil
+}

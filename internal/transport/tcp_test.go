@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTCPPair(t *testing.T, h Handler) (server, client Node) {
+	t.Helper()
+	net := NewTCPNetwork()
+	server, err := net.Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	client, err = net.Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return server, client
+}
+
+func TestTCPSendReceive(t *testing.T) {
+	server, client := newTCPPair(t, echoHandler)
+	req, _ := NewMessage("ping", "", map[string]int{"k": 3})
+	resp, err := client.Send(context.Background(), server.Name(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]int
+	if err := resp.DecodeBody(&body); err != nil || body["k"] != 3 {
+		t.Fatalf("resp body = %s err = %v", resp.Body, err)
+	}
+}
+
+func TestTCPSendStampsFromWithAddress(t *testing.T) {
+	var gotFrom string
+	var mu sync.Mutex
+	server, client := newTCPPair(t, func(ctx context.Context, req Message) (Message, error) {
+		mu.Lock()
+		gotFrom = req.From
+		mu.Unlock()
+		return Message{Type: "ok"}, nil
+	})
+	if _, err := client.Send(context.Background(), server.Name(), Message{Type: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotFrom != client.Name() {
+		t.Fatalf("From = %q, want client address %q", gotFrom, client.Name())
+	}
+}
+
+func TestTCPHandlerErrorPropagates(t *testing.T) {
+	server, client := newTCPPair(t, func(ctx context.Context, req Message) (Message, error) {
+		return Message{}, fmt.Errorf("storage exploded")
+	})
+	_, err := client.Send(context.Background(), server.Name(), Message{Type: "ping"})
+	if err == nil || !strings.Contains(err.Error(), "storage exploded") {
+		t.Fatalf("err = %v, want remote error text", err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	_, client := newTCPPair(t, echoHandler)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	// Port 1 on localhost: connection refused.
+	_, err := client.Send(ctx, "127.0.0.1:1", Message{Type: "ping"})
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestTCPClosedNodeRefusesSend(t *testing.T) {
+	server, client := newTCPPair(t, echoHandler)
+	client.Close()
+	if _, err := client.Send(context.Background(), server.Name(), Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPCloseStopsServing(t *testing.T) {
+	server, client := newTCPPair(t, echoHandler)
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := client.Send(ctx, server.Name(), Message{Type: "ping"}); err == nil {
+		t.Fatal("send to closed server succeeded")
+	}
+	// Double close is fine.
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	server, _ := newTCPPair(t, func(ctx context.Context, req Message) (Message, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return Message{Type: "ok"}, nil
+	})
+	net := NewTCPNetwork()
+	const workers, each = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node, err := net.Listen("127.0.0.1:0", echoHandler)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer node.Close()
+			for j := 0; j < each; j++ {
+				if _, err := node.Send(context.Background(), server.Name(), Message{Type: "ping"}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != workers*each {
+		t.Fatalf("server saw %d requests, want %d", count, workers*each)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	server, client := newTCPPair(t, echoHandler)
+	big := make([]float64, 50000)
+	for i := range big {
+		big[i] = float64(i) * 1.5
+	}
+	req, err := NewMessage("bulk", "", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Send(context.Background(), server.Name(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	if err := resp.DecodeBody(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(big) || out[49999] != big[49999] {
+		t.Fatal("large payload corrupted")
+	}
+}

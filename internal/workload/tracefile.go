@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Trace persistence: write generated request traces to CSV and read them
+// back, so experiments can pin a workload once and replay it across runs
+// (or load externally captured traces shaped like Gill et al.'s YouTube
+// measurements).
+
+// traceHeader is the CSV column layout.
+var traceHeader = []string{"id", "client", "content", "size_mb", "arrival_unix_ns"}
+
+// WriteCSV emits the trace in CSV form.
+func WriteCSV(w io.Writer, trace []Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: write trace header: %w", err)
+	}
+	for _, req := range trace {
+		record := []string{
+			strconv.Itoa(req.ID),
+			strconv.Itoa(req.Client),
+			strconv.Itoa(req.Content),
+			strconv.FormatFloat(req.SizeMB, 'g', 17, 64),
+			strconv.FormatInt(req.Arrival.UnixNano(), 10),
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("workload: write trace row %d: %w", req.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. It validates shape and
+// field types and returns the requests in file order.
+func ReadCSV(r io.Reader) ([]Request, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace header: %w", err)
+	}
+	if len(header) != len(traceHeader) {
+		return nil, fmt.Errorf("workload: trace header has %d columns, want %d", len(header), len(traceHeader))
+	}
+	for i, name := range traceHeader {
+		if header[i] != name {
+			return nil, fmt.Errorf("workload: trace column %d is %q, want %q", i, header[i], name)
+		}
+	}
+	var trace []Request
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: read trace line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(record[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d id: %w", line, err)
+		}
+		client, err := strconv.Atoi(record[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d client: %w", line, err)
+		}
+		content, err := strconv.Atoi(record[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d content: %w", line, err)
+		}
+		size, err := strconv.ParseFloat(record[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d size: %w", line, err)
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative size %g", line, size)
+		}
+		ns, err := strconv.ParseInt(record[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d arrival: %w", line, err)
+		}
+		trace = append(trace, Request{
+			ID:      id,
+			Client:  client,
+			Content: content,
+			SizeMB:  size,
+			Arrival: time.Unix(0, ns).UTC(),
+		})
+	}
+	return trace, nil
+}

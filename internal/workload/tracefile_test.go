@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"edr/internal/sim"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	trace, err := Generate(sim.NewRand(1), Config{
+		App:             DFS,
+		Clients:         4,
+		MeanRatePerHour: 1200,
+		Duration:        30 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(back), len(trace))
+	}
+	for i := range trace {
+		a, b := trace[i], back[i]
+		if a.ID != b.ID || a.Client != b.Client || a.Content != b.Content {
+			t.Fatalf("request %d ids mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.SizeMB != b.SizeMB {
+			t.Fatalf("request %d size %g vs %g", i, a.SizeMB, b.SizeMB)
+		}
+		if !a.Arrival.Equal(b.Arrival) {
+			t.Fatalf("request %d arrival %v vs %v", i, a.Arrival, b.Arrival)
+		}
+	}
+}
+
+func TestTraceCSVEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty trace read back %d rows", len(back))
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"wrong header":  "a,b,c,d,e\n",
+		"short header":  "id,client\n",
+		"bad id":        "id,client,content,size_mb,arrival_unix_ns\nx,0,0,1,0\n",
+		"bad client":    "id,client,content,size_mb,arrival_unix_ns\n0,x,0,1,0\n",
+		"bad content":   "id,client,content,size_mb,arrival_unix_ns\n0,0,x,1,0\n",
+		"bad size":      "id,client,content,size_mb,arrival_unix_ns\n0,0,0,x,0\n",
+		"negative size": "id,client,content,size_mb,arrival_unix_ns\n0,0,0,-2,0\n",
+		"bad arrival":   "id,client,content,size_mb,arrival_unix_ns\n0,0,0,1,x\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package workload generates the data-intensive request traffic driving
+// the EDR experiments. The paper's request pattern "follows Youtube
+// commercial workload patterns" (Gill et al., IMC 2007): diurnal-modulated
+// arrivals with a Zipf-popular content catalog, at two request sizes —
+// ~100 MB for video streaming and ~10 MB for the distributed file service.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"edr/internal/sim"
+)
+
+// Application identifies one of the paper's two data-intensive workloads.
+type Application int
+
+const (
+	// VideoStreaming issues ~100 MB requests.
+	VideoStreaming Application = iota
+	// DFS (distributed file service) issues ~10 MB requests.
+	DFS
+)
+
+// String returns the figure-label name of the application.
+func (a Application) String() string {
+	switch a {
+	case VideoStreaming:
+		return "video-streaming"
+	case DFS:
+		return "dfs"
+	default:
+		return fmt.Sprintf("application(%d)", int(a))
+	}
+}
+
+// MeanRequestMB returns the paper's per-request size for the application.
+func (a Application) MeanRequestMB() float64 {
+	switch a {
+	case VideoStreaming:
+		return 100
+	case DFS:
+		return 10
+	default:
+		panic(fmt.Sprintf("workload: unknown application %d", int(a)))
+	}
+}
+
+// Request is one client request for a piece of replicated content.
+type Request struct {
+	// ID is unique within a trace.
+	ID int
+	// Client indexes the issuing client.
+	Client int
+	// Content indexes the catalog item requested (Zipf-popular).
+	Content int
+	// SizeMB is the payload size in MB.
+	SizeMB float64
+	// Arrival is when the request reaches the system.
+	Arrival time.Time
+}
+
+// Config parameterizes a trace generation run.
+type Config struct {
+	// App selects request sizing. Default VideoStreaming.
+	App Application
+	// Clients is the number of distinct clients (> 0).
+	Clients int
+	// CatalogSize is the number of distinct content items (> 0).
+	// Default 1000.
+	CatalogSize int
+	// ZipfExponent shapes content popularity. Default 0.9 (Gill et al.
+	// report YouTube popularity close to Zipf with slope ≈ 0.9–1.0).
+	ZipfExponent float64
+	// MeanRatePerHour is the diurnal-average arrival rate across all
+	// clients (> 0).
+	MeanRatePerHour float64
+	// SizeJitter is the ± fractional uniform jitter on request size,
+	// in [0, 1). Zero means exact sizes (the paper states sizes only
+	// approximately; set ~0.2 for realistic spread).
+	SizeJitter float64
+	// Start is the trace start instant. Zero means sim.Epoch.
+	Start time.Time
+	// Duration is the trace length (> 0).
+	Duration time.Duration
+}
+
+func (c *Config) defaults() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("workload: Clients = %d, need > 0", c.Clients)
+	}
+	if c.MeanRatePerHour <= 0 {
+		return fmt.Errorf("workload: MeanRatePerHour = %g, need > 0", c.MeanRatePerHour)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: Duration = %v, need > 0", c.Duration)
+	}
+	if c.CatalogSize == 0 {
+		c.CatalogSize = 1000
+	}
+	if c.CatalogSize < 0 {
+		return fmt.Errorf("workload: CatalogSize = %d, need > 0", c.CatalogSize)
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 0.9
+	}
+	if c.ZipfExponent < 0 {
+		return fmt.Errorf("workload: ZipfExponent = %g, need > 0", c.ZipfExponent)
+	}
+	if c.SizeJitter < 0 || c.SizeJitter >= 1 {
+		return fmt.Errorf("workload: SizeJitter = %g, need [0, 1)", c.SizeJitter)
+	}
+	if c.Start.IsZero() {
+		c.Start = sim.Epoch
+	}
+	return nil
+}
+
+// DiurnalFactor returns the YouTube-shaped rate multiplier at clock time t:
+// a smooth daily cycle peaking (1.6×) at 21:00 in the evening, with its
+// trough (0.4×) twelve hours opposite at 09:00 — matching the "peak
+// service hours dominate the operating cost" framing of the paper. The
+// factor averages ≈1 over a full day.
+func DiurnalFactor(t time.Time) float64 {
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	// Peak at 21:00 — single daily harmonic.
+	phase := 2 * math.Pi * (hour - 21) / 24
+	return 1 + 0.6*math.Cos(phase)
+}
+
+// Generate produces a time-ordered request trace via a thinned
+// (non-homogeneous) Poisson process: candidates arrive at the peak rate
+// and are accepted with probability rate(t)/peak.
+func Generate(r *sim.Rand, cfg Config) ([]Request, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	zipf := sim.NewZipf(r, cfg.CatalogSize, cfg.ZipfExponent)
+	meanPerSec := cfg.MeanRatePerHour / 3600
+	peak := meanPerSec * 1.6 // max of DiurnalFactor
+	var trace []Request
+	now := cfg.Start
+	end := cfg.Start.Add(cfg.Duration)
+	id := 0
+	for {
+		gap := r.Exp(peak)
+		now = now.Add(time.Duration(gap * float64(time.Second)))
+		if !now.Before(end) {
+			break
+		}
+		if r.Float64()*1.6 > DiurnalFactor(now) {
+			continue // thinned out
+		}
+		size := cfg.App.MeanRequestMB()
+		if cfg.SizeJitter > 0 {
+			size *= 1 + r.Range(-cfg.SizeJitter, cfg.SizeJitter)
+		}
+		trace = append(trace, Request{
+			ID:      id,
+			Client:  r.Intn(cfg.Clients),
+			Content: zipf.Draw(),
+			SizeMB:  size,
+			Arrival: now,
+		})
+		id++
+	}
+	return trace, nil
+}
+
+// Demands aggregates a batch of requests into the per-client demand vector
+// R_c over the given number of clients — the optimizer's input for one
+// scheduling round.
+func Demands(batch []Request, clients int) []float64 {
+	r := make([]float64, clients)
+	for _, req := range batch {
+		if req.Client >= 0 && req.Client < clients {
+			r[req.Client] += req.SizeMB
+		}
+	}
+	return r
+}
+
+// Window slices a time-ordered trace into consecutive scheduling windows of
+// the given width, preserving order inside each window. Empty windows are
+// included so callers can model idle rounds.
+func Window(trace []Request, start time.Time, width time.Duration, count int) [][]Request {
+	if width <= 0 || count <= 0 {
+		panic(fmt.Sprintf("workload: Window(width=%v, count=%d) invalid", width, count))
+	}
+	windows := make([][]Request, count)
+	for _, req := range trace {
+		idx := int(req.Arrival.Sub(start) / width)
+		if idx >= 0 && idx < count {
+			windows[idx] = append(windows[idx], req)
+		}
+	}
+	return windows
+}
+
+// TotalMB sums the request sizes in a batch.
+func TotalMB(batch []Request) float64 {
+	total := 0.0
+	for _, req := range batch {
+		total += req.SizeMB
+	}
+	return total
+}

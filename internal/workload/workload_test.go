@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"edr/internal/sim"
+)
+
+func TestApplicationString(t *testing.T) {
+	if VideoStreaming.String() != "video-streaming" || DFS.String() != "dfs" {
+		t.Fatalf("names: %q %q", VideoStreaming, DFS)
+	}
+	if Application(9).String() == "" {
+		t.Fatal("unknown application has empty name")
+	}
+}
+
+func TestMeanRequestMB(t *testing.T) {
+	if VideoStreaming.MeanRequestMB() != 100 {
+		t.Fatalf("video = %g, want 100", VideoStreaming.MeanRequestMB())
+	}
+	if DFS.MeanRequestMB() != 10 {
+		t.Fatalf("dfs = %g, want 10", DFS.MeanRequestMB())
+	}
+}
+
+func TestMeanRequestMBUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown app did not panic")
+		}
+	}()
+	Application(42).MeanRequestMB()
+}
+
+func TestDiurnalFactorShape(t *testing.T) {
+	day := time.Date(2013, 9, 23, 0, 0, 0, 0, time.UTC)
+	peak := DiurnalFactor(day.Add(21 * time.Hour))
+	trough := DiurnalFactor(day.Add(9 * time.Hour))
+	if math.Abs(peak-1.6) > 1e-9 {
+		t.Fatalf("peak factor = %g, want 1.6", peak)
+	}
+	if math.Abs(trough-0.4) > 1e-9 {
+		t.Fatalf("trough factor = %g, want 0.4", trough)
+	}
+	// Daily average ≈ 1.
+	sum := 0.0
+	for m := 0; m < 24*60; m++ {
+		sum += DiurnalFactor(day.Add(time.Duration(m) * time.Minute))
+	}
+	if avg := sum / (24 * 60); math.Abs(avg-1) > 0.01 {
+		t.Fatalf("daily average factor = %g, want ~1", avg)
+	}
+}
+
+func baseConfig() Config {
+	return Config{
+		App:             DFS,
+		Clients:         8,
+		MeanRatePerHour: 3600, // one per second on average
+		Duration:        time.Hour,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	trace, err := Generate(sim.NewRand(1), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	end := sim.Epoch.Add(time.Hour)
+	for i, req := range trace {
+		if req.ID != i {
+			t.Fatalf("IDs not sequential at %d: %d", i, req.ID)
+		}
+		if req.Client < 0 || req.Client >= 8 {
+			t.Fatalf("client %d out of range", req.Client)
+		}
+		if req.Content < 0 || req.Content >= 1000 {
+			t.Fatalf("content %d out of default catalog", req.Content)
+		}
+		if req.SizeMB < 8 || req.SizeMB > 12 {
+			t.Fatalf("DFS size %g outside 10±20%%", req.SizeMB)
+		}
+		if req.Arrival.Before(sim.Epoch) || !req.Arrival.Before(end) {
+			t.Fatalf("arrival %v outside trace window", req.Arrival)
+		}
+		if i > 0 && req.Arrival.Before(trace[i-1].Arrival) {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+}
+
+func TestGenerateMeanRate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 24 * time.Hour // full day averages the diurnal factor out
+	cfg.MeanRatePerHour = 600
+	trace, err := Generate(sim.NewRand(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 600.0 * 24
+	got := float64(len(trace))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("generated %g requests over a day, want ~%g", got, want)
+	}
+}
+
+func TestGenerateDiurnalModulation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 24 * time.Hour
+	cfg.MeanRatePerHour = 2000
+	trace, err := Generate(sim.NewRand(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals near the peak (20:00–22:00) vs the trough (08:00–10:00).
+	peak, trough := 0, 0
+	for _, req := range trace {
+		switch h := req.Arrival.Hour(); {
+		case h >= 20 && h < 22:
+			peak++
+		case h >= 8 && h < 10:
+			trough++
+		}
+	}
+	if peak <= 2*trough {
+		t.Fatalf("peak %d vs trough %d: diurnal modulation too weak", peak, trough)
+	}
+}
+
+func TestGenerateVideoSizes(t *testing.T) {
+	cfg := baseConfig()
+	cfg.App = VideoStreaming
+	cfg.SizeJitter = 0 // exact sizes
+	trace, err := Generate(sim.NewRand(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range trace {
+		if req.SizeMB != 100 {
+			t.Fatalf("size %g, want exactly 100 with zero jitter", req.SizeMB)
+		}
+	}
+}
+
+func TestGenerateZipfPopularity(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 12 * time.Hour
+	cfg.MeanRatePerHour = 5000
+	cfg.CatalogSize = 50
+	trace, err := Generate(sim.NewRand(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 50)
+	for _, req := range trace {
+		counts[req.Content]++
+	}
+	if counts[0] <= counts[25] {
+		t.Fatalf("content 0 drawn %d, content 25 drawn %d: no popularity skew", counts[0], counts[25])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(sim.NewRand(6), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sim.NewRand(6), baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	for name, mut := range map[string]func(*Config){
+		"zero clients":  func(c *Config) { c.Clients = 0 },
+		"zero rate":     func(c *Config) { c.MeanRatePerHour = 0 },
+		"zero duration": func(c *Config) { c.Duration = 0 },
+		"neg catalog":   func(c *Config) { c.CatalogSize = -5 },
+		"neg zipf":      func(c *Config) { c.ZipfExponent = -1 },
+		"big jitter":    func(c *Config) { c.SizeJitter = 1 },
+	} {
+		cfg := baseConfig()
+		mut(&cfg)
+		if _, err := Generate(sim.NewRand(1), cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDemandsAggregation(t *testing.T) {
+	batch := []Request{
+		{Client: 0, SizeMB: 10},
+		{Client: 2, SizeMB: 5},
+		{Client: 0, SizeMB: 7},
+		{Client: 99, SizeMB: 100}, // out of range: ignored
+	}
+	d := Demands(batch, 3)
+	if d[0] != 17 || d[1] != 0 || d[2] != 5 {
+		t.Fatalf("Demands = %v", d)
+	}
+}
+
+func TestWindowSlicing(t *testing.T) {
+	start := sim.Epoch
+	mk := func(offset time.Duration) Request {
+		return Request{Arrival: start.Add(offset)}
+	}
+	trace := []Request{
+		mk(0), mk(30 * time.Second), mk(90 * time.Second), mk(200 * time.Second),
+	}
+	windows := Window(trace, start, time.Minute, 3)
+	if len(windows) != 3 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	if len(windows[0]) != 2 || len(windows[1]) != 1 || len(windows[2]) != 0 {
+		t.Fatalf("window sizes = %d,%d,%d", len(windows[0]), len(windows[1]), len(windows[2]))
+	}
+}
+
+func TestWindowBadArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Window(0 width) did not panic")
+		}
+	}()
+	Window(nil, sim.Epoch, 0, 1)
+}
+
+func TestTotalMB(t *testing.T) {
+	batch := []Request{{SizeMB: 1.5}, {SizeMB: 2.5}}
+	if got := TotalMB(batch); got != 4 {
+		t.Fatalf("TotalMB = %g", got)
+	}
+	if got := TotalMB(nil); got != 0 {
+		t.Fatalf("TotalMB(nil) = %g", got)
+	}
+}
