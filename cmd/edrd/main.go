@@ -41,6 +41,21 @@ func main() {
 		window    = flag.Duration("batch-window", 2*time.Second, "how often to run a scheduling round over pending requests")
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "ring heartbeat interval")
 		maxIters  = flag.Int("max-iters", 200, "distributed iteration bound per round")
+
+		// Transient-fault tolerance knobs.
+		rpcTimeout   = flag.Duration("rpc-timeout", 3*time.Second, "deadline per coordination RPC attempt (lower it when injecting faults: a black-holed send stalls this long)")
+		sendRetries  = flag.Int("send-retries", 2, "coordination RPC retries before a failure is attributed to the peer (-1 disables)")
+		retryBase    = flag.Duration("retry-base", 50*time.Millisecond, "backoff before the first RPC retry; doubles per attempt with jitter")
+		roundRetries = flag.Int("round-retries", 3, "round restarts after member failures before degrading (-1 disables)")
+		suspectAfter = flag.Int("suspect-after", 3, "consecutive missed heartbeats before a successor is declared dead")
+
+		// Fault injection (testing only): wraps the TCP fabric when any is
+		// set, so a fleet can rehearse loss, latency, and duplication.
+		faultDrop   = flag.Float64("fault-drop", 0, "probability [0,1) an outgoing RPC is black-holed")
+		faultDup    = flag.Float64("fault-dup", 0, "probability [0,1) an outgoing RPC is duplicated")
+		faultDelay  = flag.Duration("fault-delay", 0, "fixed extra latency per outgoing RPC")
+		faultJitter = flag.Duration("fault-jitter", 0, "random extra latency in [0, jitter) per outgoing RPC")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the fault-injection RNG")
 	)
 	flag.Parse()
 
@@ -62,10 +77,27 @@ func main() {
 			members = append(members, p)
 		}
 	}
-	server, err := core.NewReplicaServer(transport.NewTCPNetwork(), *listen, members, core.ReplicaConfig{
-		Replica:   rep,
-		Algorithm: alg,
-		MaxIters:  *maxIters,
+	var network transport.Network = transport.NewTCPNetwork()
+	if *faultDrop > 0 || *faultDup > 0 || *faultDelay > 0 || *faultJitter > 0 {
+		faulty := transport.NewFaultyNetwork(network, *faultSeed)
+		faulty.SetDefault(transport.Faults{
+			Drop:   *faultDrop,
+			Dup:    *faultDup,
+			Delay:  *faultDelay,
+			Jitter: *faultJitter,
+		})
+		network = faulty
+		log.Printf("edrd: fault injection on (drop %g, dup %g, delay %s, jitter %s, seed %d)",
+			*faultDrop, *faultDup, *faultDelay, *faultJitter, *faultSeed)
+	}
+	server, err := core.NewReplicaServer(network, *listen, members, core.ReplicaConfig{
+		Replica:      rep,
+		Algorithm:    alg,
+		MaxIters:     *maxIters,
+		RPCTimeout:   *rpcTimeout,
+		SendRetries:  *sendRetries,
+		RetryBase:    *retryBase,
+		RoundRetries: *roundRetries,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,6 +105,7 @@ func main() {
 	defer server.Close()
 
 	server.Monitor().Interval = *heartbeat
+	server.Monitor().SuspectAfter = *suspectAfter
 	server.Monitor().OnFailure = func(dead string) {
 		log.Printf("ring: member %s declared dead; ring now %s", dead, server.Ring().Snapshot())
 	}
@@ -90,9 +123,13 @@ func main() {
 	}()
 	server.ServeRounds(ctx, *window,
 		func(report *core.RoundReport) {
-			log.Printf("round %d (%s): %d clients over %d replicas in %d iterations, cost %.2f, restarts %d",
+			degraded := ""
+			if report.Degraded {
+				degraded = " DEGRADED (last-good fallback)"
+			}
+			log.Printf("round %d (%s): %d clients over %d replicas in %d iterations, cost %.2f, restarts %d%s",
 				report.Round, report.Algorithm, len(report.ClientAddrs), len(report.ReplicaAddrs),
-				report.Iterations, report.Objective, report.Restarts)
+				report.Iterations, report.Objective, report.Restarts, degraded)
 		},
 		func(err error) { log.Printf("round failed: %v", err) },
 	)

@@ -1,7 +1,17 @@
-// Fault tolerance: EDR's ring structure in action (paper §III-C). A
-// four-replica fleet schedules a round, one replica crashes, the ring
-// detects and prunes it, and the next round is re-scheduled on the
-// survivors without client involvement.
+// Fault tolerance: EDR's ring structure under injected faults (paper
+// §III-C plus this module's transient-fault hysteresis). A four-replica
+// fleet runs on a fault-injection fabric and faces three escalating
+// failures:
+//
+//  1. a transient link fault — heartbeats miss, the successor is
+//     suspected but NOT declared dead, and the suspicion clears when the
+//     link heals;
+//  2. a full partition that outlasts the round's retry budget — the
+//     round degrades to the last-known-good assignment over the
+//     reachable replicas instead of failing or falsely pruning;
+//  3. a real crash — after SuspectAfter consecutive missed heartbeats
+//     the member is declared dead, pruned everywhere, and scheduling
+//     continues on the survivors without client involvement.
 //
 //	go run ./examples/faulttolerance
 package main
@@ -10,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"edr/internal/core"
 	"edr/internal/model"
@@ -17,7 +28,8 @@ import (
 )
 
 func main() {
-	net := transport.NewInProcNetwork()
+	// Wrap the in-process fabric with seeded fault injection.
+	net := transport.NewFaultyNetwork(transport.NewInProcNetwork(), 42)
 	names := []string{"r1", "r2", "r3", "r4"}
 	prices := []float64{2, 8, 4, 6}
 	var replicas []*core.ReplicaServer
@@ -25,11 +37,20 @@ func main() {
 		rs, err := core.NewReplicaServer(net, name, names, core.ReplicaConfig{
 			Replica:   model.NewReplica(name, prices[i]),
 			Algorithm: core.LDDM,
+			// Short RPC budget with two retries per send, and no round
+			// restarts: a member that stays unreachable degrades the round
+			// rather than getting pruned by the initiator. Only the
+			// heartbeat protocol (3 consecutive misses) declares death.
+			RPCTimeout:   150 * time.Millisecond,
+			SendRetries:  1,
+			RetryBase:    20 * time.Millisecond,
+			RoundRetries: -1,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer rs.Close()
+		rs.Monitor().Timeout = 100 * time.Millisecond
 		rs.Monitor().OnFailure = func(dead string) {
 			fmt.Printf("  [%s] member %s declared dead; ring now %s\n",
 				name, dead, rs.Ring().Snapshot())
@@ -49,45 +70,83 @@ func main() {
 	}
 	defer client.Close()
 
-	// Round 1: everyone healthy.
-	if err := client.Submit(ctx, "r1", 40, latencies); err != nil {
-		log.Fatal(err)
+	submit := func() {
+		if err := client.Submit(ctx, "r1", 40, latencies); err != nil {
+			log.Fatal(err)
+		}
 	}
+	collect := func() core.AllocationBody {
+		alloc, err := client.WaitAllocation(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return alloc
+	}
+
+	// Round 1: everyone healthy.
+	submit()
 	report, err := replicas[0].RunRound(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("round %d used %d replicas (restarts: %d)\n",
-		report.Round, len(report.ReplicaAddrs), report.Restarts)
-	if _, err := client.WaitAllocation(ctx); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("round %d used %d replicas (degraded: %v)\n",
+		report.Round, len(report.ReplicaAddrs), report.Degraded)
+	collect()
 
-	// Crash r3 (a cheap replica carrying load) mid-flight.
-	fmt.Println("\n*** crashing r3 ***")
-	net.Crash("r3")
-
-	// The heartbeat protocol notices: r2's successor is r3.
+	// Failure 1: a transient fault on the r2→r3 heartbeat link. Two
+	// missed beats raise suspicion but stay below the threshold of 3, so
+	// the ring does not shrink on a glitch.
+	fmt.Println("\n*** transient fault: r2→r3 link black-holed ***")
+	net.SetLink("r2", "r3", transport.Faults{Cut: true})
 	replicas[1].Monitor().Beat()
+	replicas[1].Monitor().Beat()
+	suspect, misses := replicas[1].Monitor().Suspicion()
+	fmt.Printf("r2 has suspected successor %s after %d missed heartbeats — not dead yet\n", suspect, misses)
+	net.ClearLink("r2", "r3")
+	replicas[1].Monitor().Beat()
+	suspect, misses = replicas[1].Monitor().Suspicion()
+	fmt.Printf("link healed; suspicion cleared (suspect=%q, misses=%d); ring still %s\n",
+		suspect, misses, replicas[1].Ring().Snapshot())
 
-	// Round 2: the initiator re-schedules on the pruned ring. Even if the
-	// heartbeat had not fired yet, the round itself would hit the dead
-	// member, declare it, and restart — both paths converge.
-	if err := client.Submit(ctx, "r1", 40, latencies); err != nil {
-		log.Fatal(err)
-	}
+	// Failure 2: r4 is fully partitioned away for longer than the round's
+	// retry budget. The round falls back to the last-known-good
+	// assignment over the reachable replicas and reports Degraded.
+	fmt.Println("\n*** partition: r4 unreachable for a whole round ***")
+	net.Partition([]string{"r4"}, []string{"r1", "r2", "r3"})
+	submit()
 	report, err = replicas[0].RunRound(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("round %d used %d replicas (restarts: %d); survivors: %v\n",
-		report.Round, len(report.ReplicaAddrs), report.Restarts, report.ReplicaAddrs)
-	alloc, err := client.WaitAllocation(ctx)
+	fmt.Printf("round %d degraded: %v — reused last-good split over %v\n",
+		report.Round, report.Degraded, report.ReplicaAddrs)
+	if _, ok := collect().PerReplicaMB["r4"]; ok {
+		log.Fatal("degraded allocation still points at the partitioned replica!")
+	}
+	fmt.Println("degraded round kept every MB of demand served; r4 was not falsely pruned")
+	net.Heal()
+
+	// Failure 3: r3 actually crashes. Its predecessor's heartbeats miss
+	// three times in a row — now it is declared dead and pruned.
+	fmt.Println("\n*** crash: r3 goes down for good ***")
+	net.Crash("r3")
+	for i := 0; i < 3; i++ {
+		replicas[1].Monitor().Beat()
+	}
+
+	// Round 3: re-scheduled on the pruned ring, back to full quality.
+	submit()
+	report, err = replicas[0].RunRound(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, ok := alloc.PerReplicaMB["r3"]; ok {
+	fmt.Printf("round %d used %d replicas (degraded: %v); survivors: %v\n",
+		report.Round, len(report.ReplicaAddrs), report.Degraded, report.ReplicaAddrs)
+	if _, ok := collect().PerReplicaMB["r3"]; ok {
 		log.Fatal("dead replica still selected!")
 	}
+	stats := net.Stats()
+	fmt.Printf("\nfabric stats: %d sends, %d cut off, %d refused by crashed nodes\n",
+		stats.Sent, stats.CutOff, stats.Refused)
 	fmt.Println("client allocation avoids the dead replica — service continued uninterrupted")
 }

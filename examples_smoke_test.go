@@ -53,7 +53,10 @@ func TestExampleDFS(t *testing.T) {
 }
 
 func TestExampleFaultTolerance(t *testing.T) {
-	runExample(t, "faulttolerance", "declared dead", "service continued uninterrupted")
+	runExample(t, "faulttolerance",
+		"suspected successor", "not dead yet", // transient fault → suspicion only
+		"degraded: true",                      // partition → last-good fallback
+		"declared dead", "service continued uninterrupted")
 }
 
 func TestExampleDonarCompare(t *testing.T) {

@@ -62,7 +62,9 @@ type ReplicaConfig struct {
 	// paper default 1.8 ms.
 	MaxLatencySec float64
 	// MaxIters bounds distributed iterations per round; 0 means 200 (live
-	// rounds favor latency; the in-process engines run longer).
+	// rounds favor latency; the in-process engines run longer). -1 means
+	// zero iterations: the initiator skips the distributed loop and just
+	// projects a feasible assignment.
 	MaxIters int
 	// Tol is the round convergence tolerance; 0 means 0.02 relative
 	// demand residual for LDDM, 1e-4 movement for CDPSM.
@@ -74,8 +76,18 @@ type ReplicaConfig struct {
 	// Set to 1<<20 for full-size transfers.
 	BytesPerMB int
 	// RoundRetries bounds automatic round restarts after member failures;
-	// 0 means 3.
+	// 0 means 3, -1 means no restarts (a failed round goes straight to
+	// the degraded fallback or the error path).
 	RoundRetries int
+	// SendRetries is how many times a coordination RPC is retried (with
+	// exponential backoff and jitter) before the failure is attributed to
+	// the destination; 0 means 2, -1 means no retries. Retries are safe:
+	// both fabrics fail sends before the destination handler runs, so a
+	// failed attempt was never delivered.
+	SendRetries int
+	// RetryBase is the backoff before the first RPC retry; it doubles per
+	// attempt with ±50% jitter. 0 means 50ms.
+	RetryBase time.Duration
 }
 
 func (c *ReplicaConfig) withDefaults() ReplicaConfig {
@@ -83,7 +95,11 @@ func (c *ReplicaConfig) withDefaults() ReplicaConfig {
 	if out.MaxLatencySec <= 0 {
 		out.MaxLatencySec = 0.0018
 	}
-	if out.MaxIters <= 0 {
+	// For the integer knobs, 0 selects the default and -1 expresses the
+	// literal zero the zero-value would otherwise swallow.
+	if out.MaxIters < 0 {
+		out.MaxIters = 0
+	} else if out.MaxIters == 0 {
 		out.MaxIters = 200
 	}
 	if out.RPCTimeout <= 0 {
@@ -92,8 +108,18 @@ func (c *ReplicaConfig) withDefaults() ReplicaConfig {
 	if out.BytesPerMB <= 0 {
 		out.BytesPerMB = 1024
 	}
-	if out.RoundRetries <= 0 {
+	if out.RoundRetries < 0 {
+		out.RoundRetries = 0
+	} else if out.RoundRetries == 0 {
 		out.RoundRetries = 3
+	}
+	if out.SendRetries < 0 {
+		out.SendRetries = 0
+	} else if out.SendRetries == 0 {
+		out.SendRetries = 2
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 50 * time.Millisecond
 	}
 	return out
 }

@@ -29,6 +29,7 @@ type ReplicaServer struct {
 	pending  map[string]*RequestBody // keyed by client address, demand aggregated
 	rounds   map[int]*roundState     // participant-side state, keyed by round id
 	roundSeq int
+	lastGood *lastGoodRound // fallback assignment for degraded rounds
 
 	// Stats are exported runtime counters.
 	Stats ReplicaStats
@@ -39,9 +40,21 @@ type ReplicaStats struct {
 	RequestsReceived metrics.Counter
 	RoundsInitiated  metrics.Counter
 	RoundsRestarted  metrics.Counter
+	RoundsDegraded   metrics.Counter // rounds served from the stale fallback
 	DownloadsServed  metrics.Counter
 	MBServed         metrics.Counter // whole MB, rounded down per download
 	CoordMessages    metrics.Counter // coordination messages this node sent
+	SendRetried      metrics.Counter // coordination RPC retry attempts
+}
+
+// lastGoodRound caches the initiator's view of its latest successful
+// round: the participating replicas' models and the final assignment
+// (rows follow clientAddrs, columns follow infos). Degraded rounds
+// renormalize it over whichever replicas are still reachable.
+type lastGoodRound struct {
+	infos       []ReplicaInfo
+	clientAddrs []string
+	assignment  [][]float64
 }
 
 // roundState is the participant-side view of one round.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -27,8 +28,14 @@ type RoundReport struct {
 	ClientAddrs  []string
 	// Assignment is the final load split (clients × replicas).
 	Assignment [][]float64
-	// Objective is the total energy cost of the assignment.
+	// Objective is the total energy cost of the assignment (0 when a
+	// degraded round could not rebuild the cost model).
 	Objective float64
+	// Degraded reports that coordination kept failing after RoundRetries
+	// restarts and the round fell back to the last-known-good assignment
+	// renormalized over the reachable replicas. Demand is still fully
+	// assigned, but the split is stale rather than re-optimized.
+	Degraded bool
 }
 
 // failedMemberError marks a coordination failure attributable to one
@@ -44,7 +51,7 @@ func (e *failedMemberError) Error() string {
 
 func (e *failedMemberError) Unwrap() error { return e.err }
 
-// send performs one coordination RPC with the configured timeout.
+// send performs one coordination RPC attempt with the configured timeout.
 func (r *ReplicaServer) send(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
 	req, err := transport.NewMessage(msgType, r.Addr(), body)
 	if err != nil {
@@ -57,31 +64,92 @@ func (r *ReplicaServer) send(ctx context.Context, to, msgType string, body any) 
 	return resp, err
 }
 
-// sendReplica is send with member-failure attribution.
+// sendRetry performs a coordination RPC, retrying transient failures up to
+// SendRetries times with exponential backoff and jitter. Retrying is safe
+// because a failed attempt was never delivered (both fabrics fail sends
+// before the destination handler runs), so a lost packet or a latency
+// spike costs a retry, not a member's life. Retries stop as soon as the
+// surrounding context ends — a cancelled fan-out wave must not keep
+// hammering a peer.
+func (r *ReplicaServer) sendRetry(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.SendRetries; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, r.cfg.RetryBase, attempt); err != nil {
+				break
+			}
+			r.Stats.SendRetried.Inc(1)
+		}
+		resp, err := r.send(ctx, to, msgType, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the wave was cancelled, not the peer failing
+		}
+	}
+	return transport.Message{}, lastErr
+}
+
+// sleepBackoff waits RetryBase·2^(attempt−1) with ±50% jitter, honoring
+// ctx cancellation. Jitter decorrelates the fleet's retry storms.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	d := base << (attempt - 1)
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sendReplica is sendRetry with member-failure attribution: only after the
+// retry budget is exhausted is the failure pinned on the destination.
 func (r *ReplicaServer) sendReplica(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
-	resp, err := r.send(ctx, to, msgType, body)
+	resp, err := r.sendRetry(ctx, to, msgType, body)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The round's own budget ran out (or its wave was cancelled)
+			// mid-send. That is the initiator's failure, not the peer's:
+			// attributing it would declare live members dead whenever a
+			// slow round hits its deadline.
+			return transport.Message{}, err
+		}
 		return transport.Message{}, &failedMemberError{addr: to, err: err}
 	}
 	return resp, nil
 }
 
-// fanOut runs fn(i) for every index concurrently and returns the first
+// fanOut runs fn for every index concurrently and returns the first
 // error. The paper's server and client are multithreaded ("create new
 // threads to communicate with all the replicas at the same time"), so one
 // coordination wave costs one round trip of wall time, not count × RTT.
-func fanOut(count int, fn func(i int) error) error {
+// On the first error the wave's context is cancelled so the remaining
+// sends abort promptly instead of running out their full RPC timeouts;
+// fanOut still waits for every goroutine to finish before returning, so
+// callers may reuse the buffers the callbacks wrote to.
+func fanOut(ctx context.Context, count int, fn func(ctx context.Context, i int) error) error {
 	if count == 0 {
 		return nil
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make(chan error, count)
 	for i := 0; i < count; i++ {
-		go func(i int) { errs <- fn(i) }(i)
+		go func(i int) { errs <- fn(wctx, i) }(i)
 	}
 	var first error
 	for i := 0; i < count; i++ {
 		if err := <-errs; err != nil && first == nil {
 			first = err
+			cancel()
 		}
 	}
 	return first
@@ -90,9 +158,13 @@ func fanOut(count int, fn func(i int) error) error {
 // RunRound schedules all pending requests: it drains the queue, runs the
 // configured distributed algorithm across the current ring, installs the
 // assignment on the replicas, and notifies the clients. When a ring member
-// fails mid-round, the member is declared dead (pruned and broadcast,
-// §III-C) and the round restarts on the survivors, up to RoundRetries
-// times.
+// fails mid-round — meaning every RPC retry to it was exhausted — the
+// member is declared dead (pruned and broadcast, §III-C) and the round
+// restarts on the survivors, up to RoundRetries times. When the retry
+// budget itself is exhausted the round degrades instead of failing: the
+// last-known-good assignment is renormalized over the reachable replicas
+// and reported with Degraded set, so the fleet keeps serving through an
+// outage the optimizer cannot coordinate across.
 func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 	// Drain the pending queue into this round.
 	r.mu.Lock()
@@ -117,7 +189,7 @@ func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 		lastErr = err
 		var fail *failedMemberError
-		if asFailedMember(err, &fail) && r.ring.Contains(fail.addr) && fail.addr != r.Addr() {
+		if attempt < r.cfg.RoundRetries && asFailedMember(err, &fail) && r.ring.Contains(fail.addr) && fail.addr != r.Addr() {
 			// Prune the dead member, tell the survivors, retry.
 			r.mon.DeclareDead(fail.addr)
 			r.Stats.RoundsRestarted.Inc(1)
@@ -126,7 +198,145 @@ func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 		break
 	}
+
+	// Graceful degradation: a coordination failure with no retries left
+	// falls back to the last-known-good split rather than erroring the
+	// round. The failed member is excluded from the fallback but NOT
+	// declared dead — if its failure was transient (a partition, a loss
+	// burst) it rejoins the next round untouched. Non-coordination errors
+	// (infeasible demand, bad specs) still surface: stale assignments
+	// cannot fix a problem that was never solvable.
+	var fail *failedMemberError
+	if asFailedMember(lastErr, &fail) && ctx.Err() == nil {
+		if report, ok := r.degradedRound(ctx, requests, restarts, fail.addr); ok {
+			return report, nil
+		}
+	}
+	// The round failed outright. Put the drained requests back so the next
+	// round (the daemon's next tick) retries them; a client that
+	// resubmitted in the meantime keeps its newer demand.
+	r.mu.Lock()
+	for _, req := range requests {
+		if _, ok := r.pending[req.ClientAddr]; !ok {
+			r.pending[req.ClientAddr] = req
+		}
+	}
+	r.mu.Unlock()
 	return nil, lastErr
+}
+
+// degradedRound builds a best-effort round from the last successful one:
+// the stale assignment restricted to reachable replicas, renormalized per
+// client so every demand is fully assigned. Returns false when there is no
+// usable history (no prior success, or no surviving replica columns).
+func (r *ReplicaServer) degradedRound(ctx context.Context, requests []*RequestBody, restarts int, failedAddr string) (*RoundReport, bool) {
+	r.mu.Lock()
+	lg := r.lastGood
+	r.mu.Unlock()
+	if lg == nil {
+		return nil, false
+	}
+	// Surviving columns: ring members minus the member the failure was
+	// attributed to (unreachable right now, though possibly still alive).
+	var cols []int
+	for j, info := range lg.infos {
+		if info.Addr != failedAddr && r.ring.Contains(info.Addr) {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, false
+	}
+	infos := make([]ReplicaInfo, len(cols))
+	replicaAddrs := make([]string, len(cols))
+	for jj, j := range cols {
+		infos[jj] = lg.infos[j]
+		replicaAddrs[jj] = lg.infos[j].Addr
+	}
+	rowOf := make(map[string]int, len(lg.clientAddrs))
+	for i, addr := range lg.clientAddrs {
+		rowOf[addr] = i
+	}
+
+	// Renormalize per client: keep the last-good proportions across the
+	// surviving replicas; clients with no history (or whose entire last
+	// split landed on lost replicas) spread uniformly.
+	assignment := opt.NewMatrix(len(requests), len(cols))
+	clientAddrs := make([]string, len(requests))
+	for i, req := range requests {
+		clientAddrs[i] = req.ClientAddr
+		weights := make([]float64, len(cols))
+		sum := 0.0
+		if row, ok := rowOf[req.ClientAddr]; ok {
+			for jj, j := range cols {
+				weights[jj] = lg.assignment[row][j]
+				sum += weights[jj]
+			}
+		}
+		if sum <= 0 {
+			for jj := range weights {
+				weights[jj] = 1
+			}
+			sum = float64(len(cols))
+		}
+		for jj := range weights {
+			assignment[i][jj] = req.DemandMB * weights[jj] / sum
+		}
+	}
+
+	r.mu.Lock()
+	r.roundSeq++
+	round := r.roundSeq
+	r.mu.Unlock()
+
+	// Install the plan and notify the clients best-effort: a replica we
+	// cannot reach keeps its previous plan, which is exactly the fallback
+	// we are re-publishing.
+	_ = fanOut(ctx, len(cols), func(ctx context.Context, jj int) error {
+		col := make([]float64, len(clientAddrs))
+		for i := range clientAddrs {
+			col[i] = assignment[i][jj]
+		}
+		body := AssignBody{Round: round, Column: col, ClientAddrs: clientAddrs}
+		_, _ = r.sendRetry(ctx, replicaAddrs[jj], MsgAssign, body)
+		return nil
+	})
+	r.notifyClients(ctx, round, clientAddrs, infos, assignment, 0)
+
+	// The objective is recomputed from the cached energy models when
+	// possible; a failure here degrades the report, not the round.
+	objective := 0.0
+	spec := RoundSpec{Round: round, Replicas: infos, MaxLatencySec: r.cfg.MaxLatencySec}
+	for i, req := range requests {
+		spec.ClientAddrs = append(spec.ClientAddrs, req.ClientAddr)
+		spec.Demands = append(spec.Demands, req.DemandMB)
+		row := make([]float64, len(infos))
+		for j, info := range infos {
+			if l, ok := req.LatencySec[info.Addr]; ok {
+				row[j] = l
+			} else {
+				row[j] = 10 * r.cfg.MaxLatencySec
+			}
+		}
+		spec.LatencySec = append(spec.LatencySec, row)
+		_ = i
+	}
+	if prob, err := specProblem(&spec); err == nil {
+		objective = prob.Cost(assignment)
+	}
+
+	r.Stats.RoundsDegraded.Inc(1)
+	return &RoundReport{
+		Round:        round,
+		Algorithm:    r.cfg.Algorithm.String(),
+		Iterations:   0,
+		Restarts:     restarts,
+		ReplicaAddrs: replicaAddrs,
+		ClientAddrs:  clientAddrs,
+		Assignment:   assignment,
+		Objective:    objective,
+		Degraded:     true,
+	}, true
 }
 
 // ServeRounds runs scheduling rounds on a timer until ctx ends: every
@@ -189,7 +399,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 
 	// 1. Gather every member's model parameters (parallel fan-out).
 	infos := make([]ReplicaInfo, len(members))
-	if err := fanOut(len(members), func(i int) error {
+	if err := fanOut(ctx, len(members), func(ctx context.Context, i int) error {
 		resp, err := r.sendReplica(ctx, members[i], MsgReplicaInfo, nil)
 		if err != nil {
 			return err
@@ -233,7 +443,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}
 
 	// 3. Install the round on every replica.
-	if err := fanOut(len(infos), func(i int) error {
+	if err := fanOut(ctx, len(infos), func(ctx context.Context, i int) error {
 		_, err := r.sendReplica(ctx, infos[i].Addr, MsgRoundStart, spec)
 		return err
 	}); err != nil {
@@ -258,7 +468,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}
 
 	// 5. Install the final plan on replicas and notify clients.
-	if err := fanOut(len(infos), func(j int) error {
+	if err := fanOut(ctx, len(infos), func(ctx context.Context, j int) error {
 		col := make([]float64, len(spec.ClientAddrs))
 		for i := range spec.ClientAddrs {
 			col[i] = assignment[i][j]
@@ -269,24 +479,12 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}); err != nil {
 		return nil, err
 	}
-	_ = fanOut(len(spec.ClientAddrs), func(i int) error {
-		per := make(map[string]float64, len(infos))
-		for j, info := range infos {
-			if assignment[i][j] > 0 {
-				per[info.Addr] = assignment[i][j]
-			}
-		}
-		body := AllocationBody{
-			Round:        round,
-			PerReplicaMB: per,
-			Algorithm:    r.cfg.Algorithm.String(),
-			Iterations:   iterations,
-		}
-		// Client failures do not abort the round: the other clients'
-		// allocations stand.
-		_, _ = r.send(ctx, spec.ClientAddrs[i], MsgAllocation, body)
-		return nil
-	})
+	r.notifyClients(ctx, round, spec.ClientAddrs, infos, assignment, iterations)
+
+	// Remember this round as the fallback for degraded rounds.
+	r.mu.Lock()
+	r.lastGood = &lastGoodRound{infos: infos, clientAddrs: spec.ClientAddrs, assignment: assignment}
+	r.mu.Unlock()
 
 	replicaAddrs := make([]string, len(infos))
 	for j, info := range infos {
@@ -302,6 +500,27 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		Assignment:   assignment,
 		Objective:    prob.Cost(assignment),
 	}, nil
+}
+
+// notifyClients delivers each client its allocation. Client failures never
+// abort a round: the other clients' allocations stand.
+func (r *ReplicaServer) notifyClients(ctx context.Context, round int, clientAddrs []string, infos []ReplicaInfo, assignment [][]float64, iterations int) {
+	_ = fanOut(ctx, len(clientAddrs), func(ctx context.Context, i int) error {
+		per := make(map[string]float64, len(infos))
+		for j, info := range infos {
+			if assignment[i][j] > 0 {
+				per[info.Addr] = assignment[i][j]
+			}
+		}
+		body := AllocationBody{
+			Round:        round,
+			PerReplicaMB: per,
+			Algorithm:    r.cfg.Algorithm.String(),
+			Iterations:   iterations,
+		}
+		_, _ = r.sendRetry(ctx, clientAddrs[i], MsgAllocation, body)
+		return nil
+	})
 }
 
 // runLDDM drives Algorithm 2 over the fabric: replicas answer local
@@ -323,7 +542,7 @@ func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.
 	for k := 1; k <= r.cfg.MaxIters; k++ {
 		iterations = k
 		// Local solves, one per replica (parallel: disjoint columns).
-		if err := fanOut(n, func(j int) error {
+		if err := fanOut(ctx, n, func(ctx context.Context, j int) error {
 			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgLocalSolve, LocalSolveBody{Round: spec.Round, Iter: k, Mu: mu})
 			if err != nil {
 				return err
@@ -344,13 +563,13 @@ func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.
 		}
 		// Multiplier updates, one per client (the clients own μ;
 		// parallel: disjoint μ entries).
-		if err := fanOut(c, func(i int) error {
+		if err := fanOut(ctx, c, func(ctx context.Context, i int) error {
 			served := 0.0
 			for j := 0; j < n; j++ {
 				served += primal[i][j]
 			}
 			body := MuUpdateBody{Round: spec.Round, Iter: k, ServedMB: served, DemandMB: spec.Demands[i], Step: step}
-			resp, err := r.send(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
+			resp, err := r.sendRetry(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
 			if err != nil {
 				return fmt.Errorf("core: client %s μ update: %w", spec.ClientAddrs[i], err)
 			}
@@ -449,7 +668,7 @@ func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.
 			rowAvg[i] = sum / float64(n)
 		}
 		// Proximal solves (parallel: disjoint z rows).
-		if err := fanOut(n, func(j int) error {
+		if err := fanOut(ctx, n, func(ctx context.Context, j int) error {
 			target := make([]float64, c)
 			for i := 0; i < c; i++ {
 				target[i] = z[j][i] - rowAvg[i] + share[i] - u[i]
@@ -473,13 +692,13 @@ func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.
 		// Dual updates at the clients (step 1/|N| realizes the ADMM rule).
 		maxPrimal := 0.0
 		var mu sync.Mutex
-		if err := fanOut(c, func(i int) error {
+		if err := fanOut(ctx, c, func(ctx context.Context, i int) error {
 			served := 0.0
 			for j := 0; j < n; j++ {
 				served += z[j][i]
 			}
 			body := MuUpdateBody{Round: spec.Round, Iter: k, ServedMB: served, DemandMB: spec.Demands[i], Step: 1 / float64(n)}
-			resp, err := r.send(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
+			resp, err := r.sendRetry(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
 			if err != nil {
 				return fmt.Errorf("core: client %s dual update: %w", spec.ClientAddrs[i], err)
 			}
@@ -548,7 +767,7 @@ func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt
 	for k := 1; k <= r.cfg.MaxIters; k++ {
 		iterations = k
 		moved := make([]float64, nReplicas)
-		if err := fanOut(nReplicas, func(j int) error {
+		if err := fanOut(ctx, nReplicas, func(ctx context.Context, j int) error {
 			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMStep, CDPSMStepBody{Round: spec.Round, Iter: k, Step: step})
 			if err != nil {
 				return err
@@ -562,7 +781,7 @@ func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt
 		}); err != nil {
 			return nil, 0, err
 		}
-		if err := fanOut(nReplicas, func(j int) error {
+		if err := fanOut(ctx, nReplicas, func(ctx context.Context, j int) error {
 			_, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMCommit, CDPSMCommitBody{Round: spec.Round, Iter: k})
 			return err
 		}); err != nil {
@@ -582,7 +801,7 @@ func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt
 	// Average the committed estimates.
 	c, n := prob.C(), prob.N()
 	estimates := make([][][]float64, nReplicas)
-	if err := fanOut(nReplicas, func(j int) error {
+	if err := fanOut(ctx, nReplicas, func(ctx context.Context, j int) error {
 		resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMEstimate, CDPSMEstimateBody{Round: spec.Round})
 		if err != nil {
 			return err

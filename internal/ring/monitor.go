@@ -9,13 +9,20 @@ import (
 )
 
 // Monitor runs the heartbeat protocol for one member: it periodically
-// pings its current successor and, when a ping times out, declares the
-// successor dead, removes it locally, notifies every remaining member, and
-// invokes the OnFailure callback so the owner can re-run scheduling
-// (paper §III-C: "Once a replica malfunctions, the other replicas will
-// know and then remove this dead replica from their active member lists
-// and the ring structure. After that, EDR will perform the runtime
-// scheduling again based on the new ring of replicas.").
+// pings its current successor and, when SuspectAfter consecutive pings to
+// the same successor fail, declares the successor dead, removes it
+// locally, notifies every remaining member, and invokes the OnFailure
+// callback so the owner can re-run scheduling (paper §III-C: "Once a
+// replica malfunctions, the other replicas will know and then remove this
+// dead replica from their active member lists and the ring structure.
+// After that, EDR will perform the runtime scheduling again based on the
+// new ring of replicas.").
+//
+// The suspicion threshold is the transient-fault hysteresis the paper's
+// all-or-nothing failure story lacks: one dropped heartbeat on a lossy
+// link marks the successor suspected, not dead, so the ring does not
+// shrink — and trigger an expensive rescheduling — on every glitch. A
+// single successful heartbeat clears the suspicion.
 type Monitor struct {
 	// Self is this member's name (its transport address).
 	Self string
@@ -27,6 +34,10 @@ type Monitor struct {
 	Interval time.Duration
 	// Timeout for one heartbeat; zero means Interval/2.
 	Timeout time.Duration
+	// SuspectAfter is how many consecutive heartbeat failures to the same
+	// successor it takes to declare it dead; zero means 3. A crashed
+	// member is therefore pruned within SuspectAfter×Interval + Timeout.
+	SuspectAfter int
 	// OnFailure, when non-nil, runs after a dead member has been removed
 	// and the survivors notified. It receives the dead member's name.
 	OnFailure func(dead string)
@@ -34,6 +45,8 @@ type Monitor struct {
 	mu      sync.Mutex
 	stop    chan struct{}
 	stopped sync.WaitGroup
+	suspect string // current successor under suspicion ("" when healthy)
+	misses  int    // consecutive heartbeat failures to suspect
 }
 
 // HeartbeatType and DeathType are the message types the protocol uses.
@@ -86,6 +99,46 @@ func (m *Monitor) timeout() time.Duration {
 	return m.interval() / 2
 }
 
+func (m *Monitor) suspectAfter() int {
+	if m.SuspectAfter > 0 {
+		return m.SuspectAfter
+	}
+	return 3
+}
+
+// Suspicion reports the successor currently under suspicion and how many
+// consecutive heartbeats it has missed ("" , 0 when healthy).
+func (m *Monitor) Suspicion() (string, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.suspect, m.misses
+}
+
+// noteMiss records one heartbeat failure to succ and reports whether the
+// suspicion threshold has been crossed. Switching successors (because the
+// ring changed) resets the count: misses must be consecutive and against
+// the same member.
+func (m *Monitor) noteMiss(succ string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.suspect != succ {
+		m.suspect, m.misses = succ, 0
+	}
+	m.misses++
+	if m.misses >= m.suspectAfter() {
+		m.suspect, m.misses = "", 0
+		return true
+	}
+	return false
+}
+
+// clearSuspicion resets the miss counter after a healthy heartbeat.
+func (m *Monitor) clearSuspicion() {
+	m.mu.Lock()
+	m.suspect, m.misses = "", 0
+	m.mu.Unlock()
+}
+
 func (m *Monitor) loop(stop chan struct{}) {
 	defer m.stopped.Done()
 	ticker := time.NewTicker(m.interval())
@@ -100,12 +153,14 @@ func (m *Monitor) loop(stop chan struct{}) {
 	}
 }
 
-// Beat performs one heartbeat exchange with the current successor,
-// triggering failure handling on timeout. Exported so tests and
+// Beat performs one heartbeat exchange with the current successor. A
+// failed exchange raises suspicion; SuspectAfter consecutive failures to
+// the same successor trigger failure handling. Exported so tests and
 // virtual-time harnesses can drive the protocol without real timers.
 func (m *Monitor) Beat() {
 	succ, ok := m.Ring.Successor(m.Self)
 	if !ok {
+		m.clearSuspicion()
 		return // alone in the ring: nothing to watch
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout())
@@ -115,8 +170,12 @@ func (m *Monitor) Beat() {
 		return
 	}
 	if _, err := m.Node.Send(ctx, succ, req); err != nil {
-		m.DeclareDead(succ)
+		if m.noteMiss(succ) {
+			m.DeclareDead(succ)
+		}
+		return
 	}
+	m.clearSuspicion()
 }
 
 // DeclareDead removes the member, notifies survivors, and fires OnFailure.

@@ -18,7 +18,7 @@ type testMember struct {
 	deaths  []string
 }
 
-func newTestMember(t *testing.T, net *transport.InProcNetwork, name string, members []string) *testMember {
+func newTestMember(t *testing.T, net transport.Network, name string, members []string) *testMember {
 	t.Helper()
 	tm := &testMember{name: name}
 	tm.monitor = &Monitor{
@@ -26,6 +26,9 @@ func newTestMember(t *testing.T, net *transport.InProcNetwork, name string, memb
 		Ring:     New(members),
 		Interval: 10 * time.Millisecond,
 		Timeout:  5 * time.Millisecond,
+		// Most of these tests exercise the death protocol itself, so one
+		// miss kills; the *Suspicion* tests below set the real threshold.
+		SuspectAfter: 1,
 		OnFailure: func(dead string) {
 			tm.mu.Lock()
 			tm.deaths = append(tm.deaths, dead)
@@ -198,6 +201,132 @@ func TestHandleDeathIdempotent(t *testing.T) {
 	// Only one OnFailure firing for the same death.
 	if got := a.deathList(); len(got) != 1 {
 		t.Fatalf("deaths = %v, want single entry", got)
+	}
+}
+
+// newLossyRing builds members over a fault-injection fabric with the
+// given suspicion threshold.
+func newLossyRing(t *testing.T, names []string, suspectAfter int, seed uint64) (*transport.FaultyNetwork, []*testMember) {
+	t.Helper()
+	net := transport.NewFaultyNetwork(transport.NewInProcNetwork(), seed)
+	members := make([]*testMember, 0, len(names))
+	for _, n := range names {
+		tm := newTestMember(t, net, n, names)
+		tm.monitor.SuspectAfter = suspectAfter
+		members = append(members, tm)
+	}
+	return net, members
+}
+
+func TestMonitorTransientLossBelowThresholdNoDeath(t *testing.T) {
+	// A successor that misses SuspectAfter−1 consecutive heartbeats and
+	// then recovers must never be declared dead: transient loss raises
+	// suspicion, not a reconfiguration.
+	net, members := newLossyRing(t, []string{"a", "b", "c"}, 3, 1)
+	a := members[0]
+	net.SetLink("a", "b", transport.Faults{Cut: true})
+	a.monitor.Beat()
+	a.monitor.Beat() // two misses: one below the threshold
+	if suspect, misses := a.monitor.Suspicion(); suspect != "b" || misses != 2 {
+		t.Fatalf("suspicion = %q/%d, want b/2", suspect, misses)
+	}
+	net.Heal()
+	a.monitor.Beat() // healthy beat clears the suspicion
+	if suspect, misses := a.monitor.Suspicion(); suspect != "" || misses != 0 {
+		t.Fatalf("suspicion after heal = %q/%d, want cleared", suspect, misses)
+	}
+	for _, m := range members {
+		if len(m.deathList()) != 0 {
+			t.Fatalf("%s observed deaths %v under transient loss", m.name, m.deathList())
+		}
+		if m.monitor.Ring.Len() != 3 {
+			t.Fatalf("%s ring shrank to %d under transient loss", m.name, m.monitor.Ring.Len())
+		}
+	}
+	// Even an arbitrarily long run of isolated (non-consecutive) misses
+	// must not kill: alternate one miss, one success.
+	for i := 0; i < 10; i++ {
+		net.SetLink("a", "b", transport.Faults{Cut: true})
+		a.monitor.Beat()
+		net.Heal()
+		a.monitor.Beat()
+	}
+	if got := a.deathList(); len(got) != 0 {
+		t.Fatalf("isolated misses caused deaths: %v", got)
+	}
+}
+
+func TestMonitorCrashPrunedAtThreshold(t *testing.T) {
+	// A member that actually crashes is pruned on exactly the
+	// SuspectAfter-th consecutive miss — the deterministic statement of
+	// "within SuspectAfter × Interval + Timeout" for manual beats.
+	net, members := newLossyRing(t, []string{"a", "b", "c"}, 3, 2)
+	a := members[0]
+	net.Crash("b")
+	a.monitor.Beat()
+	a.monitor.Beat()
+	if got := a.deathList(); len(got) != 0 {
+		t.Fatalf("death declared after %d misses, below threshold 3: %v", 2, got)
+	}
+	a.monitor.Beat() // third consecutive miss crosses the threshold
+	if got := a.deathList(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("a deaths = %v, want [b]", got)
+	}
+	if members[2].monitor.Ring.Contains("b") {
+		t.Fatal("c was not notified of b's death")
+	}
+	if suspect, misses := a.monitor.Suspicion(); suspect != "" || misses != 0 {
+		t.Fatalf("suspicion not reset after declaration: %q/%d", suspect, misses)
+	}
+}
+
+func TestMonitorSuccessorChangeResetsSuspicion(t *testing.T) {
+	// Misses are counted per successor: when the ring changes under a
+	// suspicion, the count restarts against the new successor.
+	net, members := newLossyRing(t, []string{"a", "b", "c"}, 3, 3)
+	a := members[0]
+	net.Crash("b")
+	net.Crash("c")
+	a.monitor.Beat()
+	a.monitor.Beat() // two misses against b
+	// A peer's death notice removes b; a's successor becomes c.
+	a.monitor.Ring.Remove("b")
+	a.monitor.Beat() // first miss against c — must NOT inherit b's count
+	if got := a.deathList(); len(got) != 0 {
+		t.Fatalf("c declared dead with inherited miss count: %v", got)
+	}
+	if suspect, misses := a.monitor.Suspicion(); suspect != "c" || misses != 1 {
+		t.Fatalf("suspicion = %q/%d, want c/1", suspect, misses)
+	}
+	a.monitor.Beat()
+	a.monitor.Beat() // third consecutive miss against c
+	if got := a.deathList(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("a deaths = %v, want [c]", got)
+	}
+}
+
+func TestMonitorLiveCrashDetectionWithThreshold(t *testing.T) {
+	// Timer-driven variant: with SuspectAfter 3 and Interval 10ms a
+	// crashed member is pruned promptly (bounded by a generous CI
+	// deadline), and a healthy one never is.
+	net, members := newLossyRing(t, []string{"a", "b"}, 3, 4)
+	a := members[0]
+	a.monitor.Start()
+	defer a.monitor.Stop()
+	time.Sleep(50 * time.Millisecond) // healthy beats keep suspicion clear
+	if got := a.deathList(); len(got) != 0 {
+		t.Fatalf("healthy ring saw deaths %v", got)
+	}
+	net.Crash("b")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(a.deathList()) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := a.deathList(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("live threshold detection failed: deaths = %v", got)
 	}
 }
 

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"edr/internal/sim"
+)
+
+// Faults describes the fault profile of one directed link (from → to).
+// The zero value is a perfect link.
+type Faults struct {
+	// Drop is the probability a request is silently black-holed: the send
+	// blocks until the caller's context expires, like a lost packet on a
+	// real network. The request never reaches the destination handler, so
+	// retrying a dropped send is always safe (zero-or-once delivery).
+	Drop float64
+	// Dup is the probability a request is delivered twice. The second
+	// response wins; handlers see the message two times.
+	Dup float64
+	// Delay is a fixed extra one-way latency added before delivery.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Cut severs the link: every request black-holes (a partition in this
+	// direction). Unlike a crash, the far node is still up — sends fail by
+	// timeout, not by refusal.
+	Cut bool
+}
+
+// FaultStats counts injected faults, for assertions in tests and for the
+// edrd chaos log line.
+type FaultStats struct {
+	Sent       int64 // requests that entered the faulty fabric
+	Dropped    int64 // black-holed by Drop
+	CutOff     int64 // black-holed by Cut (partition)
+	Duplicated int64 // delivered twice by Dup
+	Delayed    int64 // delayed by Delay/Jitter
+	Refused    int64 // rejected because an endpoint was crashed
+}
+
+// FaultyNetwork wraps any Network with seeded, deterministic, runtime-
+// scriptable fault injection: per-link message drop, latency spikes,
+// duplication, one-way and two-way partitions, and crash/heal of whole
+// nodes. Tests and demos use it to stage outages mid-round.
+//
+// All faults act on the request path, before the destination handler runs:
+// a send that fails or times out is guaranteed not to have been delivered,
+// so callers may retry without at-most-once bookkeeping. Randomness comes
+// from a single seeded stream (internal/sim); the same seed and schedule
+// reproduce the same aggregate fault pattern.
+type FaultyNetwork struct {
+	inner Network
+
+	mu    sync.Mutex
+	rng   *sim.Rand
+	def   Faults
+	links map[[2]string]Faults
+	down  map[string]bool
+	stats FaultStats
+}
+
+// NewFaultyNetwork wraps inner with fault injection seeded by seed. With no
+// faults configured it is transparent.
+func NewFaultyNetwork(inner Network, seed uint64) *FaultyNetwork {
+	return &FaultyNetwork{
+		inner: inner,
+		rng:   sim.NewRand(seed),
+		links: make(map[[2]string]Faults),
+		down:  make(map[string]bool),
+	}
+}
+
+// Listen registers a node on the underlying fabric. Incoming requests are
+// refused while the node is crashed; outgoing sends pass through the
+// configured link faults.
+func (f *FaultyNetwork) Listen(name string, h Handler) (Node, error) {
+	wrapped := Handler(nil)
+	if h != nil {
+		wrapped = func(ctx context.Context, req Message) (Message, error) {
+			if f.isDown(name) {
+				return Message{}, fmt.Errorf("%w: %q (crashed)", ErrUnknownPeer, name)
+			}
+			return h(ctx, req)
+		}
+	}
+	node, err := f.inner.Listen(name, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyNode{net: f, inner: node}, nil
+}
+
+// SetDefault sets the fault profile applied to every link that has no
+// per-link override.
+func (f *FaultyNetwork) SetDefault(faults Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.def = faults
+}
+
+// SetLink overrides the fault profile of the directed link from → to.
+func (f *FaultyNetwork) SetLink(from, to string, faults Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[[2]string{from, to}] = faults
+}
+
+// ClearLink removes a per-link override, restoring the default profile.
+func (f *FaultyNetwork) ClearLink(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.links, [2]string{from, to})
+}
+
+// Partition cuts every link between group a and group b in both
+// directions, preserving any other per-link fault settings. Heal (or
+// ClearLink per link) restores connectivity.
+func (f *FaultyNetwork) Partition(a, b []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			for _, key := range [][2]string{{x, y}, {y, x}} {
+				lf, ok := f.links[key]
+				if !ok {
+					lf = f.def
+				}
+				lf.Cut = true
+				f.links[key] = lf
+			}
+		}
+	}
+}
+
+// Heal clears every Cut flag — default and per-link — ending all
+// partitions while preserving drop/delay/duplication settings.
+func (f *FaultyNetwork) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.def.Cut = false
+	for key, lf := range f.links {
+		lf.Cut = false
+		f.links[key] = lf
+	}
+}
+
+// Crash marks a node down without closing it: sends to it are refused
+// immediately (like a connection refused), sends from it fail with
+// ErrClosed, and its handler rejects incoming requests delivered by
+// unwrapped senders. Recover brings it back — unlike the underlying
+// fabric's hard removal, a crashed node can heal.
+func (f *FaultyNetwork) Crash(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[name] = true
+}
+
+// Recover heals a crashed node.
+func (f *FaultyNetwork) Recover(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.down, name)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultyNetwork) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *FaultyNetwork) isDown(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down[name]
+}
+
+// verdict is one send's fate, decided up front under the lock so the
+// random stream is consumed in a serialized order.
+type verdict struct {
+	refuseSelf bool
+	refusePeer bool
+	blackhole  bool
+	delay      time.Duration
+	dup        bool
+}
+
+func (f *FaultyNetwork) judge(from, to string) verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Sent++
+	if f.down[from] {
+		f.stats.Refused++
+		return verdict{refuseSelf: true}
+	}
+	if f.down[to] {
+		f.stats.Refused++
+		return verdict{refusePeer: true}
+	}
+	lf, ok := f.links[[2]string{from, to}]
+	if !ok {
+		lf = f.def
+	}
+	if lf.Cut {
+		f.stats.CutOff++
+		return verdict{blackhole: true}
+	}
+	if lf.Drop > 0 && f.rng.Float64() < lf.Drop {
+		f.stats.Dropped++
+		return verdict{blackhole: true}
+	}
+	v := verdict{delay: lf.Delay}
+	if lf.Jitter > 0 {
+		v.delay += time.Duration(f.rng.Float64() * float64(lf.Jitter))
+	}
+	if v.delay > 0 {
+		f.stats.Delayed++
+	}
+	if lf.Dup > 0 && f.rng.Float64() < lf.Dup {
+		f.stats.Duplicated++
+		v.dup = true
+	}
+	return v
+}
+
+type faultyNode struct {
+	net   *FaultyNetwork
+	inner Node
+}
+
+func (n *faultyNode) Name() string { return n.inner.Name() }
+
+func (n *faultyNode) Close() error { return n.inner.Close() }
+
+func (n *faultyNode) Send(ctx context.Context, to string, req Message) (Message, error) {
+	v := n.net.judge(n.inner.Name(), to)
+	switch {
+	case v.refuseSelf:
+		return Message{}, ErrClosed
+	case v.refusePeer:
+		return Message{}, fmt.Errorf("%w: %q (crashed)", ErrUnknownPeer, to)
+	case v.blackhole:
+		<-ctx.Done()
+		return Message{}, ctx.Err()
+	}
+	if v.delay > 0 {
+		timer := time.NewTimer(v.delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return Message{}, ctx.Err()
+		}
+	}
+	if v.dup {
+		// First delivery: the response is discarded, as if the network
+		// duplicated the datagram and the caller only saw one reply.
+		if _, err := n.inner.Send(ctx, to, req); err != nil {
+			return Message{}, err
+		}
+	}
+	return n.inner.Send(ctx, to, req)
+}
