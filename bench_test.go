@@ -22,6 +22,7 @@ import (
 	"edr/internal/opt"
 	"edr/internal/probgen"
 	"edr/internal/sim"
+	"edr/internal/telemetry"
 	"edr/internal/transport"
 )
 
@@ -82,17 +83,29 @@ func BenchmarkFig8TotalEnergySingleRun(b *testing.B) {
 	}
 }
 
-// BenchmarkFig9EDRRound measures one live EDR scheduling round (96
-// requests, 3 replicas, LDDM over the in-process fabric) — the unit of
-// work behind every Fig 9 data point, without the injected link delays.
-func BenchmarkFig9EDRRound(b *testing.B) {
+// benchEDRRound measures one live EDR scheduling round (96 requests,
+// 3 replicas, LDDM over the in-process fabric) — the unit of work behind
+// every Fig 9 data point, without the injected link delays. When
+// observed is true the full telemetry stack is on: instrumented fabric,
+// subscribed bus, collector minting Prometheus series and trajectories.
+// Comparing the two guards the zero-overhead-when-off contract:
+//
+//	go test -bench 'Fig9EDRRound' -benchmem
+func benchEDRRound(b *testing.B, observed bool) {
 	const count = 96
 	prices := []float64{3, 7, 12}
 	names := []string{"replica1", "replica2", "replica3"}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		net := transport.NewInProcNetwork()
+		var net transport.Network = transport.NewInProcNetwork()
+		var bus *telemetry.Bus
+		if observed {
+			bus = telemetry.NewBus()
+			collector := telemetry.NewCollector(telemetry.DefaultRoundLog)
+			collector.Attach(bus)
+			net = transport.NewInstrumented(net, collector.Registry, bus)
+		}
 		var replicas []*core.ReplicaServer
 		for j, price := range prices {
 			cfg := core.ReplicaConfig{
@@ -100,6 +113,7 @@ func BenchmarkFig9EDRRound(b *testing.B) {
 				Algorithm: core.LDDM,
 				MaxIters:  12,
 				Tol:       0.2,
+				Telemetry: bus,
 			}
 			rs, err := core.NewReplicaServer(net, names[j], names, cfg)
 			if err != nil {
@@ -136,6 +150,15 @@ func BenchmarkFig9EDRRound(b *testing.B) {
 		b.StartTimer()
 	}
 }
+
+// BenchmarkFig9EDRRound is the unobserved baseline: no bus, no metric
+// registry, no transport wrapper — the default production hot path.
+func BenchmarkFig9EDRRound(b *testing.B) { benchEDRRound(b, false) }
+
+// BenchmarkFig9EDRRoundTelemetry runs the identical round with the admin
+// plane's whole pipeline live (minus the HTTP listener, which is off the
+// round path entirely).
+func BenchmarkFig9EDRRoundTelemetry(b *testing.B) { benchEDRRound(b, true) }
 
 // --- Solver benchmarks (paper-scale instances) --------------------------
 

@@ -4,13 +4,20 @@
 // each chosen replica in parallel.
 //
 //	edrctl -replicas 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -demand 25 -download
+//
+// The status subcommand queries a replica's admin plane (edrd -admin)
+// instead of submitting demand:
+//
+//	edrctl status -admin 127.0.0.1:9090
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -19,14 +26,33 @@ import (
 )
 
 func main() {
+	// All work happens in run/runStatus, which return errors instead of
+	// calling log.Fatal: a Fatal after the client or response body is open
+	// would skip the deferred Close.
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "status" {
+		err = runStatus(os.Args[2:])
+	} else {
+		err = run(os.Args[1:])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edrctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edrctl", flag.ExitOnError)
 	var (
-		replicas = flag.String("replicas", "127.0.0.1:7001", "comma-separated replica addresses (first is the contact)")
-		listen   = flag.String("listen", "127.0.0.1:0", "client bind address")
-		demand   = flag.Float64("demand", 10, "requested traffic R_c in MB")
-		download = flag.Bool("download", false, "download the payload after allocation")
-		timeout  = flag.Duration("timeout", 30*time.Second, "overall deadline")
+		replicas = fs.String("replicas", "127.0.0.1:7001", "comma-separated replica addresses (first is the contact)")
+		listen   = fs.String("listen", "127.0.0.1:0", "client bind address")
+		demand   = fs.Float64("demand", 10, "requested traffic R_c in MB")
+		download = fs.Bool("download", false, "download the payload after allocation")
+		timeout  = fs.Duration("timeout", 30*time.Second, "overall deadline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var addrs []string
 	for _, a := range strings.Split(*replicas, ",") {
@@ -35,11 +61,11 @@ func main() {
 		}
 	}
 	if len(addrs) == 0 {
-		log.Fatal("edrctl: no replicas given")
+		return fmt.Errorf("no replicas given")
 	}
 	client, err := core.NewClient(transport.NewTCPNetwork(), *listen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer client.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -50,24 +76,24 @@ func main() {
 	for _, addr := range addrs {
 		rtt, err := client.Ping(ctx, addr)
 		if err != nil {
-			log.Printf("edrctl: replica %s unreachable (%v); excluded", addr, err)
+			fmt.Fprintf(os.Stderr, "edrctl: replica %s unreachable (%v); excluded\n", addr, err)
 			continue
 		}
 		latencies[addr] = rtt.Seconds()
 		fmt.Printf("ping %-22s %v\n", addr, rtt.Round(time.Microsecond))
 	}
 	if len(latencies) == 0 {
-		log.Fatal("edrctl: no reachable replicas")
+		return fmt.Errorf("no reachable replicas")
 	}
 
 	start := time.Now()
 	if err := client.Submit(ctx, addrs[0], *demand, latencies); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("submitted %.1f MB to %s; waiting for the fleet's decision...\n", *demand, addrs[0])
 	alloc, err := client.WaitAllocation(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("allocation (round %d, %s, %d iterations, %v):\n",
 		alloc.Round, alloc.Algorithm, alloc.Iterations, time.Since(start).Round(time.Millisecond))
@@ -77,8 +103,86 @@ func main() {
 	if *download {
 		n, err := client.Download(ctx, alloc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("downloaded %d payload bytes across %d replicas\n", n, len(alloc.PerReplicaMB))
+	}
+	return nil
+}
+
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("edrctl status", flag.ExitOnError)
+	var (
+		admin   = fs.String("admin", "127.0.0.1:9090", "replica admin-plane address (edrd -admin)")
+		timeout = fs.Duration("timeout", 5*time.Second, "request deadline")
+		raw     = fs.Bool("json", false, "print the raw /status JSON instead of the rendered view")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	httpc := &http.Client{Timeout: *timeout}
+	resp, err := httpc.Get("http://" + *admin + "/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /status: %s", resp.Status)
+	}
+	var st core.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding /status: %w", err)
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	printStatus(os.Stdout, &st)
+	return nil
+}
+
+// printStatus renders a Status the way an operator reads it: identity,
+// ring health, counters, then the last round's assignment matrix.
+func printStatus(w *os.File, st *core.Status) {
+	fmt.Fprintf(w, "replica   %s (%s)\n", st.Addr, st.Algorithm)
+	fmt.Fprintf(w, "ring      %s\n", strings.Join(st.Ring, " -> "))
+	if st.Suspect != "" {
+		fmt.Fprintf(w, "suspect   %s (%d missed heartbeats)\n", st.Suspect, st.SuspectMisses)
+	}
+	fmt.Fprintf(w, "pending   %d requests\n", st.Pending)
+	fmt.Fprintf(w, "counters  requests %d, rounds %d (restarted %d, degraded %d), downloads %d, rpc retries %d\n",
+		st.RequestsReceived, st.RoundsInitiated, st.RoundsRestarted, st.RoundsDegraded,
+		st.DownloadsServed, st.SendRetried)
+	if st.LastRound == nil {
+		fmt.Fprintln(w, "last round: none yet")
+		return
+	}
+	r := st.LastRound
+	flag := ""
+	if r.Degraded {
+		flag = "  DEGRADED (last-good fallback)"
+	}
+	fmt.Fprintf(w, "last round %d: %s, %d iterations, cost %.2f, %v%s\n",
+		r.Round, r.Algorithm, r.Iterations, r.Objective, r.Duration.Round(time.Millisecond), flag)
+	if len(r.Assignment) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "assignment (MB, %d clients x %d replicas):\n", len(r.ClientAddrs), len(r.ReplicaAddrs))
+	fmt.Fprintf(w, "  %-22s", "")
+	for _, rep := range r.ReplicaAddrs {
+		fmt.Fprintf(w, " %20s", rep)
+	}
+	fmt.Fprintln(w)
+	for i, row := range r.Assignment {
+		client := ""
+		if i < len(r.ClientAddrs) {
+			client = r.ClientAddrs[i]
+		}
+		fmt.Fprintf(w, "  %-22s", client)
+		for _, mb := range row {
+			fmt.Fprintf(w, " %20.2f", mb)
+		}
+		fmt.Fprintln(w)
 	}
 }

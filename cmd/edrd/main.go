@@ -9,7 +9,8 @@
 //	edrd -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7003 -price 8
 //	edrd -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002 -price 3
 //
-// then submit demand with edrctl.
+// then submit demand with edrctl. Pass -admin 127.0.0.1:9090 to expose
+// the telemetry plane (/metrics, /healthz, /status, /debug/rounds).
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"edr/internal/core"
 	"edr/internal/model"
+	"edr/internal/telemetry"
 	"edr/internal/transport"
 )
 
@@ -39,6 +41,8 @@ func main() {
 		gamma     = flag.Float64("gamma", model.DefaultGamma, "network-energy degree γ_n")
 		algorithm = flag.String("algorithm", "LDDM", "scheduling algorithm: LDDM, CDPSM or ADMM")
 		window    = flag.Duration("batch-window", 2*time.Second, "how often to run a scheduling round over pending requests")
+		admin     = flag.String("admin", "", "admin-plane bind address (e.g. 127.0.0.1:9090); empty disables telemetry at zero cost")
+		roundLog  = flag.Int("round-log", telemetry.DefaultRoundLog, "round reports retained for /debug/rounds")
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "ring heartbeat interval")
 		maxIters  = flag.Int("max-iters", 200, "distributed iteration bound per round")
 
@@ -90,6 +94,20 @@ func main() {
 		log.Printf("edrd: fault injection on (drop %g, dup %g, delay %s, jitter %s, seed %d)",
 			*faultDrop, *faultDup, *faultDelay, *faultJitter, *faultSeed)
 	}
+	// Observability is opt-in: without -admin there is no bus, no metric
+	// registry, and no transport wrapper — the round hot path pays only
+	// nil checks (see the benchmark pair in bench_test.go).
+	var (
+		bus       *telemetry.Bus
+		collector *telemetry.Collector
+	)
+	if *admin != "" {
+		bus = telemetry.NewBus()
+		collector = telemetry.NewCollector(*roundLog)
+		collector.Attach(bus)
+		// Instrumented wraps outermost so injected faults are counted too.
+		network = transport.NewInstrumented(network, collector.Registry, bus)
+	}
 	server, err := core.NewReplicaServer(network, *listen, members, core.ReplicaConfig{
 		Replica:      rep,
 		Algorithm:    alg,
@@ -98,11 +116,24 @@ func main() {
 		SendRetries:  *sendRetries,
 		RetryBase:    *retryBase,
 		RoundRetries: *roundRetries,
+		Telemetry:    bus,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer server.Close()
+	if *admin != "" {
+		adminSrv, err := telemetry.ServeAdmin(*admin, telemetry.AdminConfig{
+			Registry: collector.Registry,
+			Status:   func() any { return server.Status() },
+			Rounds:   collector.Rounds,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer adminSrv.Close()
+		log.Printf("edrd: admin plane on http://%s (/metrics /healthz /status /debug/rounds)", adminSrv.Addr())
+	}
 
 	server.Monitor().Interval = *heartbeat
 	server.Monitor().SuspectAfter = *suspectAfter

@@ -47,11 +47,12 @@ func TestBinariesEndToEnd(t *testing.T) {
 		}
 	}
 
-	ports := freePorts(t, 3)
+	ports := freePorts(t, 4)
 	addrs := make([]string, 3)
-	for i, p := range ports {
+	for i, p := range ports[:3] {
 		addrs[i] = fmt.Sprintf("127.0.0.1:%d", p)
 	}
+	adminAddr := fmt.Sprintf("127.0.0.1:%d", ports[3])
 	prices := []string{"1", "8", "3"}
 	var daemons []*exec.Cmd
 	for i := range addrs {
@@ -61,12 +62,18 @@ func TestBinariesEndToEnd(t *testing.T) {
 				peers = append(peers, addrs[j])
 			}
 		}
-		cmd := exec.Command(filepath.Join(bin, "edrd"),
+		args := []string{
 			"-listen", addrs[i],
 			"-peers", strings.Join(peers, ","),
 			"-price", prices[i],
 			"-batch-window", "300ms",
-		)
+		}
+		if i == 0 {
+			// The first replica also exposes the admin plane so the test
+			// can exercise edrctl status against a real daemon.
+			args = append(args, "-admin", adminAddr)
+		}
+		cmd := exec.Command(filepath.Join(bin, "edrd"), args...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -110,6 +117,25 @@ func TestBinariesEndToEnd(t *testing.T) {
 	for _, want := range []string{"allocation (round", "LDDM", "downloaded"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("edrctl output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The contact replica ran the round, so its admin plane must show it.
+	out, err = exec.Command(filepath.Join(bin, "edrctl"),
+		"status", "-admin", adminAddr, "-timeout", "10s",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("edrctl status: %v\n%s", err, out)
+	}
+	text = string(out)
+	for _, want := range []string{
+		"replica   " + addrs[0],
+		"ring",
+		"last round 1: LDDM",
+		"assignment (MB, 1 clients x 3 replicas):",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("edrctl status output missing %q:\n%s", want, text)
 		}
 	}
 }

@@ -6,14 +6,16 @@
 //  1. a transient link fault — heartbeats miss, the successor is
 //     suspected but NOT declared dead, and the suspicion clears when the
 //     link heals;
+//
 //  2. a full partition that outlasts the round's retry budget — the
 //     round degrades to the last-known-good assignment over the
 //     reachable replicas instead of failing or falsely pruning;
+//
 //  3. a real crash — after SuspectAfter consecutive missed heartbeats
 //     the member is declared dead, pruned everywhere, and scheduling
 //     continues on the survivors without client involvement.
 //
-//	go run ./examples/faulttolerance
+//     go run ./examples/faulttolerance
 package main
 
 import (

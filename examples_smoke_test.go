@@ -55,7 +55,7 @@ func TestExampleDFS(t *testing.T) {
 func TestExampleFaultTolerance(t *testing.T) {
 	runExample(t, "faulttolerance",
 		"suspected successor", "not dead yet", // transient fault → suspicion only
-		"degraded: true",                      // partition → last-good fallback
+		"degraded: true", // partition → last-good fallback
 		"declared dead", "service continued uninterrupted")
 }
 
@@ -73,4 +73,14 @@ func TestExampleAlgorithms(t *testing.T) {
 
 func TestExampleSteadyState(t *testing.T) {
 	runExample(t, "steadystate", "LDDM", "Round-Robin", "where")
+}
+
+func TestExampleObservability(t *testing.T) {
+	runExample(t, "observability",
+		"admin plane listening",
+		"trajectory:",                 // healthy round with recorded residuals
+		"degraded after r3 failed",    // degraded event on the bus
+		"edr_rounds_degraded_total 1", // Prometheus exposition
+		`edr_rounds_total{algorithm="LDDM"} 2`,
+	)
 }

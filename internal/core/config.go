@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"edr/internal/model"
+	"edr/internal/telemetry"
 )
 
 // Algorithm selects the distributed optimization method a replica fleet
@@ -88,6 +89,12 @@ type ReplicaConfig struct {
 	// RetryBase is the backoff before the first RPC retry; it doubles per
 	// attempt with ±50% jitter. 0 means 50ms.
 	RetryBase time.Duration
+	// Telemetry, when non-nil, receives runtime events (round outcomes,
+	// RPC retries, ring suspicion — see internal/telemetry). Nil disables
+	// observability at zero cost: every would-be publish is a single nil
+	// check, and per-iteration trajectories are not recorded unless the
+	// bus has subscribers.
+	Telemetry *telemetry.Bus
 }
 
 func (c *ReplicaConfig) withDefaults() ReplicaConfig {

@@ -25,11 +25,12 @@ type ReplicaServer struct {
 	ring *ring.Ring
 	mon  *ring.Monitor
 
-	mu       sync.Mutex
-	pending  map[string]*RequestBody // keyed by client address, demand aggregated
-	rounds   map[int]*roundState     // participant-side state, keyed by round id
-	roundSeq int
-	lastGood *lastGoodRound // fallback assignment for degraded rounds
+	mu         sync.Mutex
+	pending    map[string]*RequestBody // keyed by client address, demand aggregated
+	rounds     map[int]*roundState     // participant-side state, keyed by round id
+	roundSeq   int
+	lastGood   *lastGoodRound // fallback assignment for degraded rounds
+	lastReport *RoundReport   // most recent completed round (admin /status)
 
 	// Stats are exported runtime counters.
 	Stats ReplicaStats
@@ -95,6 +96,7 @@ func NewReplicaServer(network transport.Network, addr string, members []string, 
 		Self: node.Name(),
 		Ring: r.ring,
 		Node: node,
+		Bus:  r.cfg.Telemetry,
 	}
 	return r, nil
 }
@@ -120,6 +122,58 @@ func (r *ReplicaServer) PendingRequests() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.pending)
+}
+
+// LastReport returns the most recent completed round this replica
+// initiated (nil before the first), degraded rounds included.
+func (r *ReplicaServer) LastReport() *RoundReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastReport
+}
+
+// Status is the admin plane's /status document: a live snapshot of
+// membership, suspicion, queue depth, cumulative counters, and the last
+// completed round (including its assignment matrix).
+type Status struct {
+	Addr             string       `json:"addr"`
+	Algorithm        string       `json:"algorithm"`
+	Ring             []string     `json:"ring"`
+	Suspect          string       `json:"suspect,omitempty"`
+	SuspectMisses    int          `json:"suspect_misses,omitempty"`
+	Pending          int          `json:"pending"`
+	RequestsReceived int64        `json:"requests_received"`
+	RoundsInitiated  int64        `json:"rounds_initiated"`
+	RoundsRestarted  int64        `json:"rounds_restarted"`
+	RoundsDegraded   int64        `json:"rounds_degraded"`
+	DownloadsServed  int64        `json:"downloads_served"`
+	SendRetried      int64        `json:"send_retried"`
+	Degraded         bool         `json:"degraded"` // last round fell back
+	LastRound        *RoundReport `json:"last_round,omitempty"`
+}
+
+// Status snapshots the replica's runtime state for the admin plane.
+func (r *ReplicaServer) Status() Status {
+	suspect, misses := r.mon.Suspicion()
+	s := Status{
+		Addr:             r.Addr(),
+		Algorithm:        r.cfg.Algorithm.String(),
+		Ring:             r.ring.Members(),
+		Suspect:          suspect,
+		SuspectMisses:    misses,
+		Pending:          r.PendingRequests(),
+		RequestsReceived: r.Stats.RequestsReceived.Value(),
+		RoundsInitiated:  r.Stats.RoundsInitiated.Value(),
+		RoundsRestarted:  r.Stats.RoundsRestarted.Value(),
+		RoundsDegraded:   r.Stats.RoundsDegraded.Value(),
+		DownloadsServed:  r.Stats.DownloadsServed.Value(),
+		SendRetried:      r.Stats.SendRetried.Value(),
+	}
+	s.LastRound = r.LastReport()
+	if s.LastRound != nil {
+		s.Degraded = s.LastRound.Degraded
+	}
+	return s
 }
 
 // handle routes every incoming message.

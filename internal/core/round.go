@@ -9,33 +9,67 @@ import (
 	"time"
 
 	"edr/internal/opt"
+	"edr/internal/telemetry"
 	"edr/internal/transport"
 )
 
-// RoundReport summarizes a completed scheduling round.
+// RoundReport summarizes a completed scheduling round. It is also the
+// JSON document the admin plane embeds in /status.
 type RoundReport struct {
 	// Round is the initiator-local round id.
-	Round int
+	Round int `json:"round"`
 	// Algorithm names the method used.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 	// Iterations is how many distributed iterations ran.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// Restarts counts ring-failure restarts the round survived.
-	Restarts int
+	Restarts int `json:"restarts"`
 	// ReplicaAddrs and ClientAddrs give the final participants in
 	// column/row order.
-	ReplicaAddrs []string
-	ClientAddrs  []string
+	ReplicaAddrs []string `json:"replica_addrs"`
+	ClientAddrs  []string `json:"client_addrs"`
 	// Assignment is the final load split (clients × replicas).
-	Assignment [][]float64
+	Assignment [][]float64 `json:"assignment"`
 	// Objective is the total energy cost of the assignment (0 when a
 	// degraded round could not rebuild the cost model).
-	Objective float64
+	Objective float64 `json:"objective"`
 	// Degraded reports that coordination kept failing after RoundRetries
 	// restarts and the round fell back to the last-known-good assignment
 	// renormalized over the reachable replicas. Demand is still fully
 	// assigned, but the split is stale rather than re-optimized.
-	Degraded bool
+	Degraded bool `json:"degraded"`
+	// Duration is the wall time of the whole round, restarts included.
+	Duration time.Duration `json:"duration_ns"`
+	// Residuals and Costs are the per-iteration convergence residual and
+	// energy-cost trajectories. They are recorded only when the replica's
+	// telemetry bus has subscribers (ReplicaConfig.Telemetry), so the
+	// round hot path does no extra work in an unobserved fleet. Residual
+	// semantics are algorithm-specific: max relative demand residual for
+	// LDDM, max absolute primal residual for ADMM, max estimate movement
+	// for CDPSM. Costs is empty for CDPSM (the initiator holds no primal
+	// iterate between consensus steps).
+	Residuals []float64 `json:"residuals,omitempty"`
+	Costs     []float64 `json:"costs,omitempty"`
+}
+
+// roundTrace accumulates per-iteration trajectories during the
+// distributed loop; inert when observe is false.
+type roundTrace struct {
+	observe   bool
+	residuals []float64
+	costs     []float64
+}
+
+// add records one iteration's residual and cost (NaN cost = not
+// available this algorithm/iteration).
+func (tr *roundTrace) add(residual, cost float64) {
+	if !tr.observe {
+		return
+	}
+	tr.residuals = append(tr.residuals, residual)
+	if !math.IsNaN(cost) {
+		tr.costs = append(tr.costs, cost)
+	}
 }
 
 // failedMemberError marks a coordination failure attributable to one
@@ -79,6 +113,7 @@ func (r *ReplicaServer) sendRetry(ctx context.Context, to, msgType string, body 
 				break
 			}
 			r.Stats.SendRetried.Inc(1)
+			r.cfg.Telemetry.Publish(telemetry.RPCRetried{Peer: to, Verb: msgType, Attempt: attempt})
 		}
 		resp, err := r.send(ctx, to, msgType, body)
 		if err == nil {
@@ -179,12 +214,14 @@ func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 	r.pending = make(map[string]*RequestBody)
 	r.mu.Unlock()
 	r.Stats.RoundsInitiated.Inc(1)
+	start := time.Now()
 
 	var lastErr error
 	restarts := 0
 	for attempt := 0; attempt <= r.cfg.RoundRetries; attempt++ {
 		report, err := r.runRoundOnce(ctx, requests, restarts)
 		if err == nil {
+			r.finishRound(report, start)
 			return report, nil
 		}
 		lastErr = err
@@ -209,6 +246,12 @@ func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 	var fail *failedMemberError
 	if asFailedMember(lastErr, &fail) && ctx.Err() == nil {
 		if report, ok := r.degradedRound(ctx, requests, restarts, fail.addr); ok {
+			r.finishRound(report, start)
+			r.cfg.Telemetry.Publish(telemetry.RoundDegraded{
+				Round:        report.Round,
+				FailedMember: fail.addr,
+				Restarts:     restarts,
+			})
 			return report, nil
 		}
 	}
@@ -222,7 +265,32 @@ func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 	}
 	r.mu.Unlock()
+	if lastErr != nil {
+		r.cfg.Telemetry.Publish(telemetry.RoundFailed{Err: lastErr.Error()})
+	}
 	return nil, lastErr
+}
+
+// finishRound stamps the report's duration, remembers it for the admin
+// plane, and publishes the RoundCompleted event.
+func (r *ReplicaServer) finishRound(report *RoundReport, start time.Time) {
+	report.Duration = time.Since(start)
+	r.mu.Lock()
+	r.lastReport = report
+	r.mu.Unlock()
+	r.cfg.Telemetry.Publish(telemetry.RoundCompleted{
+		Round:      report.Round,
+		Algorithm:  report.Algorithm,
+		Iterations: report.Iterations,
+		Restarts:   report.Restarts,
+		Clients:    len(report.ClientAddrs),
+		Replicas:   len(report.ReplicaAddrs),
+		Objective:  report.Objective,
+		Duration:   report.Duration,
+		Degraded:   report.Degraded,
+		Residuals:  report.Residuals,
+		Costs:      report.Costs,
+	})
 }
 
 // degradedRound builds a best-effort round from the last successful one:
@@ -450,16 +518,19 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		return nil, err
 	}
 
-	// 4. Run the distributed iterations.
+	// 4. Run the distributed iterations. Trajectories are recorded only
+	// when someone is listening on the telemetry bus — the extra
+	// per-iteration objective evaluations stay off the unobserved path.
+	trace := roundTrace{observe: r.cfg.Telemetry.Active()}
 	var assignment [][]float64
 	var iterations int
 	switch r.cfg.Algorithm {
 	case LDDM:
-		assignment, iterations, err = r.runLDDM(ctx, &spec, prob)
+		assignment, iterations, err = r.runLDDM(ctx, &spec, prob, &trace)
 	case CDPSM:
-		assignment, iterations, err = r.runCDPSM(ctx, &spec, prob)
+		assignment, iterations, err = r.runCDPSM(ctx, &spec, prob, &trace)
 	case ADMM:
-		assignment, iterations, err = r.runADMM(ctx, &spec, prob)
+		assignment, iterations, err = r.runADMM(ctx, &spec, prob, &trace)
 	default:
 		err = fmt.Errorf("core: unknown algorithm %v", r.cfg.Algorithm)
 	}
@@ -499,6 +570,8 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		ClientAddrs:  spec.ClientAddrs,
 		Assignment:   assignment,
 		Objective:    prob.Cost(assignment),
+		Residuals:    trace.residuals,
+		Costs:        trace.costs,
 	}, nil
 }
 
@@ -526,7 +599,7 @@ func (r *ReplicaServer) notifyClients(ctx context.Context, round int, clientAddr
 // runLDDM drives Algorithm 2 over the fabric: replicas answer local
 // solves, clients answer multiplier updates, and the initiator recovers
 // the primal from a doubling suffix average.
-func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.Problem) ([][]float64, int, error) {
+func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.Problem, trace *roundTrace) ([][]float64, int, error) {
 	c, n := prob.C(), prob.N()
 	tol := r.cfg.Tol
 	if tol <= 0 {
@@ -590,6 +663,23 @@ func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.
 		w := k - windowStart + 1
 		opt.Scale(avg, float64(w-1)/float64(w))
 		opt.AXPY(avg, 1/float64(w), primal)
+		if trace.observe {
+			// The trajectory tracks the suffix-averaged iterate — the
+			// round's actual primal estimate; the raw water-filling primal
+			// oscillates and never itself converges.
+			rows := opt.RowSums(avg)
+			maxRel := 0.0
+			for i := 0; i < c; i++ {
+				denom := spec.Demands[i]
+				if denom < 1 {
+					denom = 1
+				}
+				if rel := math.Abs(rows[i]-spec.Demands[i]) / denom; rel > maxRel {
+					maxRel = rel
+				}
+			}
+			trace.add(maxRel, prob.Cost(avg))
+		}
 		if w >= 16 {
 			maxRel := 0.0
 			rows := opt.RowSums(avg)
@@ -640,7 +730,7 @@ func lddmAutoStepValue(prob *opt.Problem) float64 {
 // answer proximal solves against initiator-assembled targets, and clients
 // hold the scaled dual (their MuUpdate rule with step 1/|N| is exactly the
 // ADMM dual update u += (served − R)/|N|).
-func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.Problem) ([][]float64, int, error) {
+func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.Problem, trace *roundTrace) ([][]float64, int, error) {
 	c, n := prob.C(), prob.N()
 	tol := r.cfg.Tol
 	if tol <= 0 {
@@ -716,6 +806,15 @@ func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.
 		}); err != nil {
 			return nil, 0, err
 		}
+		if trace.observe {
+			x := opt.NewMatrix(c, n)
+			for j := 0; j < n; j++ {
+				for i := 0; i < c; i++ {
+					x[i][j] = z[j][i]
+				}
+			}
+			trace.add(maxPrimal, prob.Cost(x))
+		}
 		if maxPrimal <= tol*(1+demandNorm) {
 			break
 		}
@@ -756,7 +855,7 @@ func admmAutoRho(prob *opt.Problem) float64 {
 // every peer's committed estimate and stages its update) then commit, per
 // iteration; the final assignment is the average of the committed
 // estimates, polished to exact feasibility.
-func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt.Problem) ([][]float64, int, error) {
+func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt.Problem, trace *roundTrace) ([][]float64, int, error) {
 	tol := r.cfg.Tol
 	if tol <= 0 {
 		tol = 1e-3
@@ -793,6 +892,9 @@ func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt
 				maxMoved = m
 			}
 		}
+		// No initiator-side primal iterate exists between consensus
+		// steps, so CDPSM records a residual-only trajectory.
+		trace.add(maxMoved, math.NaN())
 		if maxMoved <= tol {
 			break
 		}

@@ -1,34 +1,68 @@
 // Package metrics provides the small measurement toolkit the experiment
 // harness and the live runtime share: response-time recorders with
-// percentile summaries, counters, and per-replica accumulators.
+// percentile summaries, counters, histograms, and per-replica
+// accumulators.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// ReservoirSize caps the memory one Timer holds: at most this many
+// samples are kept for percentile estimation. Below the cap percentiles
+// are exact; above it the kept samples are a uniform random reservoir
+// (Vitter's Algorithm R), so percentiles become unbiased estimates while
+// Count, Mean, StdDev, Min and Max stay exact from running aggregates. A
+// long-running edrd therefore pays a fixed ~8 KiB per Timer no matter how
+// many rounds it serves.
+const ReservoirSize = 1024
+
 // Timer records durations and summarizes them. Safe for concurrent use.
+// Memory is bounded by ReservoirSize (see its doc for the exactness
+// contract).
 type Timer struct {
 	mu      sync.Mutex
-	samples []time.Duration
+	count   int64
+	sum     float64
+	sumSq   float64
+	min     time.Duration
+	max     time.Duration
+	samples []time.Duration // uniform reservoir of at most ReservoirSize
 }
 
 // Record adds one observation.
 func (t *Timer) Record(d time.Duration) {
 	t.mu.Lock()
-	t.samples = append(t.samples, d)
+	t.count++
+	f := float64(d)
+	t.sum += f
+	t.sumSq += f * f
+	if t.count == 1 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	if len(t.samples) < ReservoirSize {
+		t.samples = append(t.samples, d)
+	} else if j := rand.Int64N(t.count); j < ReservoirSize {
+		t.samples[j] = d
+	}
 	t.mu.Unlock()
 }
 
-// Count returns the number of observations.
+// Count returns the number of observations (exact, even past the
+// reservoir cap).
 func (t *Timer) Count() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.samples)
+	return int(t.count)
 }
 
 // Summary describes a duration distribution.
@@ -39,35 +73,32 @@ type Summary struct {
 }
 
 // Summarize computes the distribution summary. An empty timer yields the
-// zero Summary.
+// zero Summary. Count, Mean, StdDev, Min and Max are exact; P50/P95 are
+// exact until ReservoirSize observations, then reservoir estimates.
 func (t *Timer) Summarize() Summary {
 	t.mu.Lock()
 	samples := make([]time.Duration, len(t.samples))
 	copy(samples, t.samples)
+	count, sum, sumSq := t.count, t.sum, t.sumSq
+	min, max := t.min, t.max
 	t.mu.Unlock()
-	if len(samples) == 0 {
+	if count == 0 {
 		return Summary{}
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var sum, sumSq float64
-	for _, d := range samples {
-		f := float64(d)
-		sum += f
-		sumSq += f * f
-	}
-	n := float64(len(samples))
+	n := float64(count)
 	mean := sum / n
 	variance := sumSq/n - mean*mean
 	if variance < 0 {
 		variance = 0
 	}
 	return Summary{
-		Count:  len(samples),
+		Count:  int(count),
 		Mean:   time.Duration(mean),
 		P50:    percentile(samples, 0.50),
 		P95:    percentile(samples, 0.95),
-		Min:    samples[0],
-		Max:    samples[len(samples)-1],
+		Min:    min,
+		Max:    max,
 		StdDev: time.Duration(math.Sqrt(variance)),
 	}
 }
@@ -95,24 +126,88 @@ func (s Summary) String() string {
 		s.P95.Round(time.Microsecond), s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }
 
-// Counter is a concurrent event counter.
+// Counter is a concurrent event counter. It is a single atomic word:
+// safe to embed by value in hot-path stats structs (core.ClientStats,
+// transport instrumentation) with no lock contention.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Inc adds delta (may be negative).
 func (c *Counter) Inc(delta int64) {
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
+	c.n.Add(delta)
 }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	return c.n.Load()
+}
+
+// Histogram counts observations into fixed cumulative-style buckets, the
+// shape Prometheus histograms export. Buckets and the running sum use
+// atomics, so Observe is lock-free and safe on hot paths.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts  []atomic.Int64
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum of observations
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// Observations greater than every bound land in the implicit +Inf bucket.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// DurationBuckets is a general-purpose latency bucket layout in seconds,
+// from 1 ms to ~100 s in roughly ×3 steps.
+func DurationBuckets() []float64 {
+	return []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view of a histogram for
+// export: cumulative counts per bound (ending with the +Inf bucket),
+// total count, and sum of observations.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, excluding +Inf
+	Cumulative []int64   // len(Bounds)+1; last entry is the +Inf (total) count
+	Count      int64
+	Sum        float64
+}
+
+// Snapshot returns the cumulative bucket counts Prometheus exposition
+// wants. Concurrent Observes may skew individual buckets by a few
+// counts; totals remain monotone.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.counts)),
+		Count:      h.total.Load(),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	run := int64(0)
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		s.Cumulative[i] = run
+	}
+	return s
 }
 
 // Accumulator sums float64 contributions per named key (e.g. per-replica

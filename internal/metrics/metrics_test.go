@@ -71,6 +71,87 @@ func TestTimerConcurrent(t *testing.T) {
 	}
 }
 
+func TestTimerReservoirBound(t *testing.T) {
+	var tm Timer
+	const n = 10 * ReservoirSize
+	for i := 1; i <= n; i++ {
+		tm.Record(time.Duration(i) * time.Microsecond)
+	}
+	if tm.Count() != n {
+		t.Fatalf("Count = %d, want %d (exact past the cap)", tm.Count(), n)
+	}
+	if len(tm.samples) != ReservoirSize {
+		t.Fatalf("reservoir holds %d samples, want cap %d", len(tm.samples), ReservoirSize)
+	}
+	s := tm.Summarize()
+	if s.Min != time.Microsecond || s.Max != n*time.Microsecond {
+		t.Fatalf("min/max = %v/%v, want exact extremes", s.Min, s.Max)
+	}
+	wantMean := time.Duration(n+1) / 2 * time.Microsecond
+	if s.Mean < wantMean-time.Microsecond || s.Mean > wantMean+time.Microsecond {
+		t.Fatalf("Mean = %v, want ≈%v (exact from running sums)", s.Mean, wantMean)
+	}
+	// The reservoir P50 is an estimate; a uniform 1..n stream should put
+	// it well inside the middle half.
+	if s.P50 < n/4*time.Microsecond || s.P50 > 3*n/4*time.Microsecond {
+		t.Fatalf("P50 = %v, implausible for uniform 1..%d µs", s.P50, n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Sum != 56.05 {
+		t.Fatalf("Sum = %g", s.Sum)
+	}
+	want := []int64{1, 3, 4, 5} // cumulative: ≤0.1, ≤1, ≤10, +Inf
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("Cumulative = %v, want %v", s.Cumulative, want)
+		}
+	}
+}
+
+func TestHistogramBoundaryLandsInBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound counts as ≤ bound (le semantics)
+	s := h.Snapshot()
+	if s.Cumulative[0] != 1 {
+		t.Fatalf("observation on the bound missed its bucket: %v", s.Cumulative)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.005)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("Count = %d, want 8000", s.Count)
+	}
+	if s.Sum < 39.9 || s.Sum > 40.1 {
+		t.Fatalf("Sum = %g, want 40", s.Sum)
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != 8000 {
+		t.Fatalf("+Inf cumulative = %d", s.Cumulative[len(s.Cumulative)-1])
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	var tm Timer
 	tm.Record(time.Millisecond)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"edr/internal/telemetry"
 	"edr/internal/transport"
 )
 
@@ -41,6 +42,9 @@ type Monitor struct {
 	// OnFailure, when non-nil, runs after a dead member has been removed
 	// and the survivors notified. It receives the dead member's name.
 	OnFailure func(dead string)
+	// Bus, when non-nil, receives MemberSuspected / MemberDeclared /
+	// MemberHealed telemetry events as the suspicion state machine moves.
+	Bus *telemetry.Bus
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -120,23 +124,31 @@ func (m *Monitor) Suspicion() (string, int) {
 // the same member.
 func (m *Monitor) noteMiss(succ string) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.suspect != succ {
 		m.suspect, m.misses = succ, 0
 	}
 	m.misses++
-	if m.misses >= m.suspectAfter() {
+	misses := m.misses
+	crossed := misses >= m.suspectAfter()
+	if crossed {
 		m.suspect, m.misses = "", 0
-		return true
 	}
-	return false
+	m.mu.Unlock()
+	if !crossed {
+		m.Bus.Publish(telemetry.MemberSuspected{Member: succ, Misses: misses})
+	}
+	return crossed
 }
 
 // clearSuspicion resets the miss counter after a healthy heartbeat.
 func (m *Monitor) clearSuspicion() {
 	m.mu.Lock()
+	suspect, misses := m.suspect, m.misses
 	m.suspect, m.misses = "", 0
 	m.mu.Unlock()
+	if suspect != "" && misses > 0 {
+		m.Bus.Publish(telemetry.MemberHealed{Member: suspect, Misses: misses})
+	}
 }
 
 func (m *Monitor) loop(stop chan struct{}) {
@@ -185,6 +197,7 @@ func (m *Monitor) DeclareDead(dead string) {
 	if !m.Ring.Remove(dead) {
 		return // someone else already handled it
 	}
+	m.Bus.Publish(telemetry.MemberDeclared{Member: dead, By: m.Self})
 	notice, err := transport.NewMessage(DeathType, m.Self, deathNotice{Dead: dead})
 	if err == nil {
 		for _, member := range m.Ring.Members() {
@@ -214,8 +227,11 @@ func (m *Monitor) HandleDeath(req transport.Message) (transport.Message, error) 
 	if err := req.DecodeBody(&notice); err != nil {
 		return transport.Message{}, err
 	}
-	if m.Ring.Remove(notice.Dead) && m.OnFailure != nil {
-		m.OnFailure(notice.Dead)
+	if m.Ring.Remove(notice.Dead) {
+		m.Bus.Publish(telemetry.MemberDeclared{Member: notice.Dead, By: req.From})
+		if m.OnFailure != nil {
+			m.OnFailure(notice.Dead)
+		}
 	}
 	return transport.NewMessage(DeathType+".ack", m.Self, nil)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"edr/internal/telemetry"
 	"edr/internal/transport"
 )
 
@@ -327,6 +328,62 @@ func TestMonitorLiveCrashDetectionWithThreshold(t *testing.T) {
 	}
 	if got := a.deathList(); len(got) != 1 || got[0] != "b" {
 		t.Fatalf("live threshold detection failed: deaths = %v", got)
+	}
+}
+
+func TestMonitorPublishesSuspicionLifecycle(t *testing.T) {
+	// The suspicion state machine narrates itself on the telemetry bus:
+	// each sub-threshold miss → MemberSuspected, a recovering heartbeat →
+	// MemberHealed, the threshold crossing → MemberDeclared.
+	net, members := newLossyRing(t, []string{"a", "b", "c"}, 3, 5)
+	a := members[0]
+	bus := telemetry.NewBus()
+	var mu sync.Mutex
+	var events []telemetry.Event
+	defer bus.Subscribe(func(e telemetry.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})()
+	a.monitor.Bus = bus
+
+	net.SetLink("a", "b", transport.Faults{Cut: true})
+	a.monitor.Beat()
+	a.monitor.Beat()
+	net.Heal()
+	a.monitor.Beat() // heals the two-miss suspicion
+	net.Crash("b")
+	a.monitor.Beat()
+	a.monitor.Beat()
+	a.monitor.Beat() // crosses the threshold → declared
+
+	mu.Lock()
+	defer mu.Unlock()
+	var suspected, healed, declared int
+	for _, e := range events {
+		switch ev := e.(type) {
+		case telemetry.MemberSuspected:
+			if ev.Member != "b" {
+				t.Fatalf("suspected %q, want b", ev.Member)
+			}
+			suspected++
+		case telemetry.MemberHealed:
+			if ev.Member != "b" || ev.Misses != 2 {
+				t.Fatalf("healed = %+v, want b after 2 misses", ev)
+			}
+			healed++
+		case telemetry.MemberDeclared:
+			if ev.Member != "b" || ev.By != "a" {
+				t.Fatalf("declared = %+v, want b by a", ev)
+			}
+			declared++
+		}
+	}
+	if suspected != 4 { // 2 before heal + 2 before declaration
+		t.Fatalf("MemberSuspected count = %d, want 4", suspected)
+	}
+	if healed != 1 || declared != 1 {
+		t.Fatalf("healed=%d declared=%d, want 1/1", healed, declared)
 	}
 }
 

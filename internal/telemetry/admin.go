@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// AdminConfig wires the admin plane's endpoints to the runtime.
+type AdminConfig struct {
+	// Registry backs /metrics. Required.
+	Registry *Registry
+	// Status, when non-nil, backs /status with any JSON-marshalable
+	// document (edrd serves core.ReplicaServer.Status()).
+	Status func() any
+	// Rounds, when non-nil, backs /debug/rounds (typically
+	// Collector.Rounds).
+	Rounds func() []RoundCompleted
+	// Health, when non-nil, lets /healthz report failure; nil means
+	// always healthy.
+	Health func() error
+}
+
+// NewAdminHandler builds the admin plane's HTTP mux:
+//
+//	/metrics       Prometheus text exposition
+//	/healthz       200 "ok" (503 + error text when Health fails)
+//	/status        JSON runtime status document
+//	/debug/rounds  JSON array of recent rounds with convergence and
+//	               energy-cost trajectories
+func NewAdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Status == nil {
+			http.Error(w, "no status provider", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.Status())
+	})
+	mux.HandleFunc("/debug/rounds", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Rounds == nil {
+			http.Error(w, "no round log", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.Rounds())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AdminServer is a running admin plane listener.
+type AdminServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin binds addr (host:port; port 0 picks a free port) and
+// serves the admin plane on it until Close.
+func ServeAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewAdminHandler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &AdminServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (a *AdminServer) Close() error { return a.srv.Close() }

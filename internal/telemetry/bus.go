@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is a lock-cheap publish/subscribe fan-out for telemetry events.
+//
+// Publish is the hot-path operation: it is one atomic pointer load plus
+// a nil check when nobody is listening, and a plain slice walk when
+// someone is — no locks, no allocation. Subscription changes are rare
+// and pay for that by copying the subscriber list (copy-on-write under
+// a mutex).
+//
+// A nil *Bus is valid and inert: every method is a no-op, so producers
+// embed a bus pointer and publish unconditionally. A runtime with no
+// admin plane configured therefore pays a single predictable branch per
+// would-be event — this is the "zero overhead when observability is
+// off" contract the round hot path relies on.
+//
+// Handlers run synchronously on the publisher's goroutine, in
+// subscription order. They must be fast and must not publish back into
+// the same bus from within the handler (deadlock-free, but unbounded
+// recursion). Consumers that need to do slow work should enqueue.
+type Bus struct {
+	subs atomic.Pointer[[]subscriber]
+	mu   sync.Mutex // serializes Subscribe/cancel (copy-on-write writers)
+	next int64
+}
+
+type subscriber struct {
+	id int64
+	fn func(Event)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Publish delivers e to every subscriber. Safe on a nil bus.
+func (b *Bus) Publish(e Event) {
+	if b == nil {
+		return
+	}
+	subs := b.subs.Load()
+	if subs == nil {
+		return
+	}
+	for i := range *subs {
+		(*subs)[i].fn(e)
+	}
+}
+
+// Active reports whether any subscriber is attached (false on nil).
+// Producers use it to skip building expensive event payloads.
+func (b *Bus) Active() bool {
+	if b == nil {
+		return false
+	}
+	subs := b.subs.Load()
+	return subs != nil && len(*subs) > 0
+}
+
+// Subscribe registers fn for every subsequent Publish and returns a
+// cancel func that removes it. Safe on a nil bus (cancel is a no-op).
+func (b *Bus) Subscribe(fn func(Event)) (cancel func()) {
+	if b == nil || fn == nil {
+		return func() {}
+	}
+	b.mu.Lock()
+	b.next++
+	id := b.next
+	b.append(subscriber{id: id, fn: fn})
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		b.remove(id)
+		b.mu.Unlock()
+	}
+}
+
+// append installs a new subscriber list with s added. Caller holds mu.
+func (b *Bus) append(s subscriber) {
+	old := b.subs.Load()
+	var next []subscriber
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, s)
+	b.subs.Store(&next)
+}
+
+// remove installs a new subscriber list without id. Caller holds mu.
+func (b *Bus) remove(id int64) {
+	old := b.subs.Load()
+	if old == nil {
+		return
+	}
+	next := make([]subscriber, 0, len(*old))
+	for _, s := range *old {
+		if s.id != id {
+			next = append(next, s)
+		}
+	}
+	b.subs.Store(&next)
+}

@@ -1,0 +1,108 @@
+// Package telemetry is the EDR runtime's observability plane: a
+// lock-cheap typed event bus the core/ring/transport layers publish
+// into, a metrics registry rendered in Prometheus text exposition
+// format, a collector that turns events into metrics and a bounded
+// round log, and an embedded HTTP admin server exposing /metrics,
+// /healthz, /status, and /debug/rounds.
+//
+// The package deliberately knows nothing about core, ring, or
+// transport: events carry plain data, so every layer can publish
+// without import cycles, and a fleet with no admin plane configured
+// pays one nil check per would-be event (see Bus).
+package telemetry
+
+import "time"
+
+// Event is any of the typed event structs below. Consumers type-switch.
+type Event any
+
+// RoundCompleted is published by the round initiator after every round
+// that produced an assignment — optimized or degraded.
+type RoundCompleted struct {
+	// Round is the initiator-local round id.
+	Round int `json:"round"`
+	// Algorithm names the method used (LDDM, CDPSM, ADMM).
+	Algorithm string `json:"algorithm"`
+	// Iterations is how many distributed iterations ran (0 when degraded).
+	Iterations int `json:"iterations"`
+	// Restarts counts ring-failure restarts the round survived.
+	Restarts int `json:"restarts"`
+	// Clients and Replicas count the participants.
+	Clients  int `json:"clients"`
+	Replicas int `json:"replicas"`
+	// Objective is the total energy cost of the final assignment.
+	Objective float64 `json:"objective"`
+	// Duration is the wall time of the whole round (including restarts).
+	Duration time.Duration `json:"duration_ns"`
+	// Degraded reports a last-known-good fallback round.
+	Degraded bool `json:"degraded"`
+	// Residuals is the per-iteration convergence residual trajectory
+	// (algorithm-specific: relative demand residual for LDDM, primal
+	// residual for ADMM, max estimate movement for CDPSM).
+	Residuals []float64 `json:"residuals,omitempty"`
+	// Costs is the per-iteration energy-cost trajectory where the
+	// initiator holds a primal iterate (LDDM, ADMM; empty for CDPSM).
+	Costs []float64 `json:"costs,omitempty"`
+}
+
+// RoundDegraded is published when a round falls back to the last-known-
+// good assignment, alongside the RoundCompleted event for that round.
+type RoundDegraded struct {
+	Round int `json:"round"`
+	// FailedMember is the peer the terminal coordination failure was
+	// attributed to.
+	FailedMember string `json:"failed_member"`
+	// Restarts is how many restarts were burned before degrading.
+	Restarts int `json:"restarts"`
+}
+
+// RoundFailed is published when a round errors outright (no assignment
+// produced; requests are re-queued).
+type RoundFailed struct {
+	Err string `json:"err"`
+}
+
+// MemberSuspected is published by the ring monitor on every missed
+// heartbeat below the declaration threshold.
+type MemberSuspected struct {
+	// Member is the suspected successor.
+	Member string `json:"member"`
+	// Misses is the consecutive miss count so far.
+	Misses int `json:"misses"`
+}
+
+// MemberDeclared is published when a member is declared dead and pruned
+// from the ring — by the monitor's heartbeat protocol or by a round
+// initiator pinning a coordination failure on it.
+type MemberDeclared struct {
+	Member string `json:"member"`
+	// By names the declaring node.
+	By string `json:"by"`
+}
+
+// MemberHealed is published when a suspected member answers a heartbeat
+// again before being declared dead, clearing the suspicion.
+type MemberHealed struct {
+	Member string `json:"member"`
+	// Misses is how many heartbeats it had missed before healing.
+	Misses int `json:"misses"`
+}
+
+// RPCRetried is published per coordination-RPC retry attempt.
+type RPCRetried struct {
+	// Peer is the destination of the retried send.
+	Peer string `json:"peer"`
+	// Verb is the message type being retried.
+	Verb string `json:"verb"`
+	// Attempt is the retry ordinal (1 = first retry).
+	Attempt int `json:"attempt"`
+}
+
+// MessageDropped is published by the instrumented transport when a send
+// fails — the message never produced a response (timeout, refused peer,
+// closed endpoint).
+type MessageDropped struct {
+	Peer string `json:"peer"`
+	Verb string `json:"verb"`
+	Err  string `json:"err"`
+}

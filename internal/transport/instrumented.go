@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"context"
+	"sync"
+
+	"edr/internal/metrics"
+	"edr/internal/telemetry"
+)
+
+// Instrumented wraps any Network and counts every send per (peer, verb):
+// messages, request/response bytes, and errors, minted lazily into a
+// telemetry.Registry as
+//
+//	edr_transport_messages_total{peer,verb}
+//	edr_transport_bytes_total{peer,verb,direction="tx"|"rx"}
+//	edr_transport_errors_total{peer,verb}
+//
+// and publishes a telemetry.MessageDropped event for every failed send.
+// Byte counts measure message bodies (the payload the optimizer ships),
+// not wire framing. The wrapper sits outermost in the fabric stack, so
+// with fault injection underneath it observes what the application
+// experienced — a dropped RPC is an error here even though the inner
+// fabric swallowed it silently.
+type Instrumented struct {
+	inner Network
+	reg   *telemetry.Registry
+	bus   *telemetry.Bus
+
+	mu    sync.RWMutex
+	links map[linkKey]*linkCounters
+}
+
+type linkKey struct {
+	peer, verb string
+}
+
+type linkCounters struct {
+	messages *metrics.Counter
+	bytesTx  *metrics.Counter
+	bytesRx  *metrics.Counter
+	errors   *metrics.Counter
+}
+
+// NewInstrumented wraps inner, recording into reg and publishing drop
+// events to bus (which may be nil).
+func NewInstrumented(inner Network, reg *telemetry.Registry, bus *telemetry.Bus) *Instrumented {
+	return &Instrumented{
+		inner: inner,
+		reg:   reg,
+		bus:   bus,
+		links: make(map[linkKey]*linkCounters),
+	}
+}
+
+// Listen registers a node on the underlying fabric; its outgoing sends
+// are counted.
+func (n *Instrumented) Listen(name string, h Handler) (Node, error) {
+	node, err := n.inner.Listen(name, h)
+	if err != nil {
+		return nil, err
+	}
+	return &instrumentedNode{net: n, inner: node}, nil
+}
+
+// link returns the counter set for (peer, verb), minting registry series
+// on first use. The fast path is one RLock + map hit.
+func (n *Instrumented) link(peer, verb string) *linkCounters {
+	key := linkKey{peer, verb}
+	n.mu.RLock()
+	lc, ok := n.links[key]
+	n.mu.RUnlock()
+	if ok {
+		return lc
+	}
+	labels := telemetry.Labels{"peer": peer, "verb": verb}
+	tx := telemetry.Labels{"peer": peer, "verb": verb, "direction": "tx"}
+	rx := telemetry.Labels{"peer": peer, "verb": verb, "direction": "rx"}
+	lc = &linkCounters{
+		messages: n.reg.Counter("edr_transport_messages_total",
+			"Messages sent per peer and verb.", labels),
+		bytesTx: n.reg.Counter("edr_transport_bytes_total",
+			"Message body bytes per peer, verb, and direction.", tx),
+		bytesRx: n.reg.Counter("edr_transport_bytes_total",
+			"Message body bytes per peer, verb, and direction.", rx),
+		errors: n.reg.Counter("edr_transport_errors_total",
+			"Failed sends per peer and verb.", labels),
+	}
+	n.mu.Lock()
+	if existing, ok := n.links[key]; ok {
+		lc = existing // lost the race; registry counters are shared anyway
+	} else {
+		n.links[key] = lc
+	}
+	n.mu.Unlock()
+	return lc
+}
+
+type instrumentedNode struct {
+	net   *Instrumented
+	inner Node
+}
+
+func (nd *instrumentedNode) Name() string { return nd.inner.Name() }
+
+func (nd *instrumentedNode) Close() error { return nd.inner.Close() }
+
+func (nd *instrumentedNode) Send(ctx context.Context, to string, req Message) (Message, error) {
+	lc := nd.net.link(to, req.Type)
+	lc.messages.Inc(1)
+	lc.bytesTx.Inc(int64(len(req.Body)))
+	resp, err := nd.inner.Send(ctx, to, req)
+	if err != nil {
+		lc.errors.Inc(1)
+		nd.net.bus.Publish(telemetry.MessageDropped{Peer: to, Verb: req.Type, Err: err.Error()})
+		return resp, err
+	}
+	lc.bytesRx.Inc(int64(len(resp.Body)))
+	return resp, nil
+}
