@@ -160,6 +160,57 @@ func BenchmarkFig9EDRRound(b *testing.B) { benchEDRRound(b, false) }
 // round path entirely).
 func BenchmarkFig9EDRRoundTelemetry(b *testing.B) { benchEDRRound(b, true) }
 
+// BenchmarkSteadyStateRound measures back-to-back scheduling rounds on one
+// long-lived unobserved fleet — the steady state a deployed initiator sits
+// in. Unlike benchEDRRound, the fleet is built once outside the timer, so
+// the per-op allocation figure isolates the round hot path itself: the
+// number this guards is what the engine's buffer pool (opt.Pool) exists to
+// keep flat across rounds.
+func BenchmarkSteadyStateRound(b *testing.B) {
+	prices := []float64{3, 7, 12}
+	names := []string{"replica1", "replica2", "replica3"}
+	net := transport.NewInProcNetwork()
+	var replicas []*core.ReplicaServer
+	for j, price := range prices {
+		cfg := core.ReplicaConfig{
+			Replica:   model.NewReplica(names[j], price),
+			Algorithm: core.LDDM,
+			MaxIters:  12,
+			Tol:       0.2,
+		}
+		rs, err := core.NewReplicaServer(net, names[j], names, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rs.Close()
+		replicas = append(replicas, rs)
+	}
+	const count = 16
+	ctx := context.Background()
+	lat := map[string]float64{"replica1": 0.0005, "replica2": 0.0005, "replica3": 0.0005}
+	var clients []*core.Client
+	for c := 0; c < count; c++ {
+		cl, err := core.NewClient(net, fmt.Sprintf("client%d", c+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients = append(clients, cl)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cl := range clients {
+			if err := cl.Submit(ctx, "replica1", 1.0, lat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := replicas[0].RunRound(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Solver benchmarks (paper-scale instances) --------------------------
 
 func paperScaleProblem(b *testing.B, seed uint64) *opt.Problem {

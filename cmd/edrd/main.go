@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"edr/internal/core"
+	"edr/internal/engine"
 	"edr/internal/model"
 	"edr/internal/telemetry"
 	"edr/internal/transport"
@@ -39,7 +40,7 @@ func main() {
 		alpha     = flag.Float64("alpha", model.DefaultAlpha, "server-energy weight α_n")
 		beta      = flag.Float64("beta", model.DefaultBeta, "network-energy weight β_n")
 		gamma     = flag.Float64("gamma", model.DefaultGamma, "network-energy degree γ_n")
-		algorithm = flag.String("algorithm", "LDDM", "scheduling algorithm: LDDM, CDPSM or ADMM")
+		algorithm = flag.String("algorithm", "LDDM", "scheduling algorithm: "+strings.Join(engine.Names(), ", "))
 		window    = flag.Duration("batch-window", 2*time.Second, "how often to run a scheduling round over pending requests")
 		admin     = flag.String("admin", "", "admin-plane bind address (e.g. 127.0.0.1:9090); empty disables telemetry at zero cost")
 		roundLog  = flag.Int("round-log", telemetry.DefaultRoundLog, "round reports retained for /debug/rounds")

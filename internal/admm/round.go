@@ -1,0 +1,233 @@
+package admm
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"edr/internal/engine"
+	"edr/internal/opt"
+)
+
+// MsgProx is initiator → replica: solve the replica's proximal subproblem
+// against an initiator-assembled target and return the new column.
+const MsgProx = "replica.admm.prox"
+
+// ProxBody carries one replica's proximal target.
+type ProxBody struct {
+	Round  int       `json:"round"`
+	Iter   int       `json:"iter"`
+	Rho    float64   `json:"rho"`
+	Target []float64 `json:"target"`
+}
+
+// ProxReply returns the replica's updated column z_n.
+type ProxReply struct {
+	Column []float64 `json:"column"`
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:   "ADMM",
+		New:    func() engine.Algorithm { return &roundAlg{} },
+		Server: serverHalf{},
+		Verbs:  []string{MsgProx},
+	})
+}
+
+// roundAlg is the initiator half of sharing-ADMM over the fabric: replicas
+// answer proximal solves, and clients hold the scaled dual (their MuUpdate
+// rule with step 1/|N| is exactly the ADMM dual update u += (served−R)/|N|).
+type roundAlg struct {
+	rd  *engine.Round
+	k   int
+	tol float64
+	rho float64
+
+	z          [][]float64 // transposed: z[replica][client]
+	targets    [][]float64 // per-replica proximal targets, same layout
+	u          []float64
+	share      []float64
+	rowAvg     []float64
+	primal     [][]float64 // client×replica scratch for trajectory costing
+	demandNorm float64
+
+	exchanges []engine.Exchange
+}
+
+func (a *roundAlg) Init(rd *engine.Round) error {
+	c, n := rd.Prob.C(), rd.Prob.N()
+	a.rd = rd
+	a.tol = rd.Tol
+	if a.tol <= 0 {
+		a.tol = 1e-3
+	}
+	a.rho = autoRho(rd.Prob)
+	a.z = rd.Pool.Matrix(n, c)
+	a.targets = rd.Pool.Matrix(n, c)
+	a.u = rd.Pool.Vector(c)
+	a.share = rd.Pool.Vector(c)
+	a.rowAvg = rd.Pool.Vector(c)
+	a.primal = rd.Pool.Matrix(c, n)
+	a.demandNorm = 0
+	for i := 0; i < c; i++ {
+		a.share[i] = rd.Prob.Demands[i] / float64(n)
+		a.demandNorm += rd.Prob.Demands[i] * rd.Prob.Demands[i]
+	}
+	a.demandNorm = math.Sqrt(a.demandNorm)
+	a.exchanges = []engine.Exchange{
+		{
+			// Proximal solves (parallel: disjoint z and target rows; rowAvg
+			// is frozen for the wave by Iterate).
+			Verb:  MsgProx,
+			Class: engine.Replicas,
+			Body: func(j int) any {
+				t := a.targets[j]
+				for i := 0; i < c; i++ {
+					t[i] = a.z[j][i] - a.rowAvg[i] + a.share[i] - a.u[i]
+				}
+				return ProxBody{Round: rd.Seq, Iter: a.k, Rho: a.rho, Target: t}
+			},
+			Fold: func(j int, r engine.Reply) error {
+				var reply ProxReply
+				if err := r.Decode(&reply); err != nil {
+					return err
+				}
+				if len(reply.Column) != c {
+					return fmt.Errorf("admm: %s returned %d entries for %d clients",
+						rd.ReplicaAddrs[j], len(reply.Column), c)
+				}
+				copy(a.z[j], reply.Column)
+				return nil
+			},
+		},
+		{
+			// Dual updates at the clients; step 1/|N| realizes the ADMM rule
+			// (parallel: disjoint u entries).
+			Verb:  engine.MsgMuUpdate,
+			Class: engine.Clients,
+			Body: func(i int) any {
+				served := 0.0
+				for j := 0; j < n; j++ {
+					served += a.z[j][i]
+				}
+				return engine.MuUpdateBody{
+					Round:    rd.Seq,
+					Iter:     a.k,
+					ServedMB: served,
+					DemandMB: rd.Prob.Demands[i],
+					Step:     1 / float64(n),
+				}
+			},
+			Fold: func(i int, r engine.Reply) error {
+				var reply engine.MuUpdateReply
+				if err := r.Decode(&reply); err != nil {
+					return err
+				}
+				a.u[i] = reply.Mu
+				return nil
+			},
+		},
+	}
+	return nil
+}
+
+// Iterate freezes the previous iterate's row averages so the proximal
+// wave's concurrently-built targets all see one consistent snapshot.
+func (a *roundAlg) Iterate(k int) []engine.Exchange {
+	a.k = k
+	c, n := a.rd.Prob.C(), a.rd.Prob.N()
+	for i := 0; i < c; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += a.z[j][i]
+		}
+		a.rowAvg[i] = sum / float64(n)
+	}
+	return a.exchanges
+}
+
+func (a *roundAlg) Converged(k int) (float64, bool) {
+	c, n := a.rd.Prob.C(), a.rd.Prob.N()
+	maxPrimal := 0.0
+	for i := 0; i < c; i++ {
+		served := 0.0
+		for j := 0; j < n; j++ {
+			served += a.z[j][i]
+		}
+		if r := math.Abs(served - a.rd.Prob.Demands[i]); r > maxPrimal {
+			maxPrimal = r
+		}
+	}
+	return maxPrimal, maxPrimal <= a.tol*(1+a.demandNorm)
+}
+
+// Primal exposes the current iterate (transposed into client×replica
+// form) for trajectory costing.
+func (a *roundAlg) Primal() [][]float64 {
+	c, n := a.rd.Prob.C(), a.rd.Prob.N()
+	for j := 0; j < n; j++ {
+		for i := 0; i < c; i++ {
+			a.primal[i][j] = a.z[j][i]
+		}
+	}
+	return a.primal
+}
+
+func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, error) {
+	c, n := a.rd.Prob.C(), a.rd.Prob.N()
+	final := opt.NewMatrix(c, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < c; i++ {
+			final[i][j] = a.z[j][i]
+		}
+	}
+	if err := opt.ProjectFeasible(a.rd.Prob, final, 1e-6); err != nil {
+		return nil, fmt.Errorf("admm: primal recovery: %w", err)
+	}
+	return final, nil
+}
+
+// serverState caches the replica's latency mask and per-client caps so a
+// round's repeated proximal solves skip rebuilding them.
+type serverState struct {
+	allowed []bool
+	caps    []float64
+}
+
+// serverHalf answers MsgProx on a participant replica.
+type serverHalf struct{}
+
+func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr *engine.ServerRound) (any, error) {
+	var body ProxBody
+	if err := req.Decode(&body); err != nil {
+		return nil, err
+	}
+	c := sr.Prob.C()
+	if len(body.Target) != c {
+		return nil, fmt.Errorf("admm: round %d: %d targets for %d clients", body.Round, len(body.Target), c)
+	}
+	st, err := sr.State("ADMM", func() (any, error) {
+		mask := sr.Prob.Allowed()
+		s := &serverState{
+			allowed: make([]bool, c),
+			caps:    make([]float64, c),
+		}
+		for i := 0; i < c; i++ {
+			s.allowed[i] = mask[i][sr.Col]
+			s.caps[i] = sr.Prob.Demands[i]
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ps := st.(*serverState)
+	// ProximalColumn is stateless over read-only inputs, so concurrent
+	// solves need no lock.
+	col, err := ProximalColumn(sr.Prob.System.Replicas[sr.Col], ps.allowed, ps.caps, body.Target, body.Rho, 40)
+	if err != nil {
+		return nil, err
+	}
+	return ProxReply{Column: col}, nil
+}

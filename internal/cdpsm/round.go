@@ -1,0 +1,303 @@
+package cdpsm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"edr/internal/engine"
+	"edr/internal/opt"
+)
+
+// CDPSM wire protocol. The initiator drives the synchronous iteration of
+// Algorithm 1 with step/commit waves; the replicas exchange committed
+// estimates among themselves (the real O(|N|²) traffic) when a step
+// message arrives.
+const (
+	// MsgStep is initiator → replica: pull every peer's committed
+	// estimate, take one consensus-projected-subgradient step, and stage
+	// the result.
+	MsgStep = "replica.cdpsm.step"
+	// MsgEstimate is replica → replica (and initiator → replica during
+	// recovery): return the committed estimate.
+	MsgEstimate = "replica.cdpsm.estimate"
+	// MsgCommit is initiator → replica: promote the staged estimate.
+	MsgCommit = "replica.cdpsm.commit"
+)
+
+// StepBody asks one replica to run one consensus + subgradient step.
+type StepBody struct {
+	Round int     `json:"round"`
+	Iter  int     `json:"iter"`
+	Step  float64 `json:"step"`
+}
+
+// StepReply reports how far the replica's staged estimate moved
+// (Frobenius distance to its committed one).
+type StepReply struct {
+	Moved float64 `json:"moved"`
+}
+
+// EstimateBody requests a replica's committed estimate.
+type EstimateBody struct {
+	Round int `json:"round"`
+}
+
+// EstimateReply carries the committed estimate (clients × replicas).
+type EstimateReply struct {
+	Estimate [][]float64 `json:"estimate"`
+}
+
+// CommitBody promotes a replica's staged estimate.
+type CommitBody struct {
+	Round int `json:"round"`
+	Iter  int `json:"iter"`
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:   "CDPSM",
+		New:    func() engine.Algorithm { return &roundAlg{} },
+		Server: serverHalf{},
+		Verbs:  []string{MsgStep, MsgEstimate, MsgCommit},
+	})
+}
+
+// roundAlg is the initiator half of Algorithm 1 over the fabric: step
+// (each replica pulls every peer's committed estimate and stages its
+// update) then commit, per iteration; the final assignment is the average
+// of the committed estimates, polished to exact feasibility. No
+// initiator-side primal iterate exists between consensus steps, so the
+// algorithm records a residual-only trajectory (it implements no
+// PrimalTracer).
+type roundAlg struct {
+	rd  *engine.Round
+	k   int
+	tol float64
+
+	moved []float64
+
+	exchanges []engine.Exchange
+}
+
+func (a *roundAlg) Init(rd *engine.Round) error {
+	n := len(rd.ReplicaAddrs)
+	a.rd = rd
+	a.tol = rd.Tol
+	if a.tol <= 0 {
+		a.tol = 1e-3
+	}
+	a.moved = rd.Pool.Vector(n)
+	a.exchanges = []engine.Exchange{
+		{
+			Verb:  MsgStep,
+			Class: engine.Replicas,
+			Body: func(j int) any {
+				return StepBody{Round: rd.Seq, Iter: a.k, Step: DefaultStep}
+			},
+			Fold: func(j int, r engine.Reply) error {
+				var reply StepReply
+				if err := r.Decode(&reply); err != nil {
+					return err
+				}
+				a.moved[j] = reply.Moved
+				return nil
+			},
+		},
+		{
+			Verb:  MsgCommit,
+			Class: engine.Replicas,
+			Body: func(j int) any {
+				return CommitBody{Round: rd.Seq, Iter: a.k}
+			},
+		},
+	}
+	return nil
+}
+
+func (a *roundAlg) Iterate(k int) []engine.Exchange {
+	a.k = k
+	return a.exchanges
+}
+
+func (a *roundAlg) Converged(k int) (float64, bool) {
+	maxMoved := 0.0
+	for _, m := range a.moved {
+		if m > maxMoved {
+			maxMoved = m
+		}
+	}
+	return maxMoved, maxMoved <= a.tol
+}
+
+// Recover averages the replicas' committed estimates and polishes the
+// result onto the exact feasible region — the common point the agents
+// converged toward.
+func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, error) {
+	c, n := a.rd.Prob.C(), a.rd.Prob.N()
+	nReplicas := len(a.rd.ReplicaAddrs)
+	sum := opt.NewMatrix(c, n) // freshly allocated: escapes into the report
+	var mu sync.Mutex
+	err := d.Exec(ctx, a.rd, engine.Exchange{
+		Verb:  MsgEstimate,
+		Class: engine.Replicas,
+		Body:  func(j int) any { return EstimateBody{Round: a.rd.Seq} },
+		Fold: func(j int, r engine.Reply) error {
+			var reply EstimateReply
+			if err := r.Decode(&reply); err != nil {
+				return err
+			}
+			if err := checkShape(reply.Estimate, c, n); err != nil {
+				return fmt.Errorf("cdpsm: estimate from %s: %w", a.rd.ReplicaAddrs[j], err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			opt.Add(sum, reply.Estimate)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt.Scale(sum, 1/float64(nReplicas))
+	if err := opt.ProjectFeasible(a.rd.Prob, sum, 1e-6); err != nil {
+		return nil, fmt.Errorf("cdpsm: final polish: %w", err)
+	}
+	return sum, nil
+}
+
+// checkShape validates a wire-decoded matrix before it reaches the shape-
+// panicking opt kernels.
+func checkShape(x [][]float64, c, n int) error {
+	if len(x) != c {
+		return fmt.Errorf("%d rows for %d clients", len(x), c)
+	}
+	for _, row := range x {
+		if len(row) != n {
+			return fmt.Errorf("row of %d entries for %d replicas", len(row), n)
+		}
+	}
+	return nil
+}
+
+// serverState is one replica's CDPSM view of a round: the committed
+// estimate its peers may pull, and the staged successor awaiting commit.
+type serverState struct {
+	mu        sync.Mutex
+	committed [][]float64
+	staged    [][]float64
+}
+
+// serverHalf answers the three CDPSM verbs on a participant replica.
+type serverHalf struct{}
+
+// state fetches (or lazily builds) the round's CDPSM participant state;
+// the initial committed estimate is the uniform start.
+func state(sr *engine.ServerRound) (*serverState, error) {
+	st, err := sr.State("CDPSM", func() (any, error) {
+		start, err := sr.Prob.UniformStart()
+		if err != nil {
+			return nil, err
+		}
+		return &serverState{committed: start}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st.(*serverState), nil
+}
+
+func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr *engine.ServerRound) (any, error) {
+	switch verb {
+	case MsgStep:
+		var body StepBody
+		if err := req.Decode(&body); err != nil {
+			return nil, err
+		}
+		return handleStep(ctx, &body, sr)
+	case MsgEstimate:
+		var body EstimateBody
+		if err := req.Decode(&body); err != nil {
+			return nil, err
+		}
+		st, err := state(sr)
+		if err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return EstimateReply{Estimate: opt.Clone(st.committed)}, nil
+	case MsgCommit:
+		var body CommitBody
+		if err := req.Decode(&body); err != nil {
+			return nil, err
+		}
+		st, err := state(sr)
+		if err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.staged == nil {
+			return nil, fmt.Errorf("cdpsm: commit round %d with no staged estimate", body.Round)
+		}
+		st.committed = st.staged
+		st.staged = nil
+		return nil, nil
+	}
+	return nil, fmt.Errorf("cdpsm: unhandled verb %q", verb)
+}
+
+// handleStep runs one consensus + subgradient step: pull peers' committed
+// estimates, average with uniform weights (Eq. 3), take the local
+// gradient step, project onto the local constraint set, and stage.
+func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (StepReply, error) {
+	st, err := state(sr)
+	if err != nil {
+		return StepReply{}, err
+	}
+	c, n := sr.Prob.C(), sr.Prob.N()
+	st.mu.Lock()
+	own := opt.Clone(st.committed)
+	st.mu.Unlock()
+	estimates := make([][][]float64, 0, len(sr.ReplicaAddrs))
+	estimates = append(estimates, own)
+	for _, addr := range sr.ReplicaAddrs {
+		if addr == sr.Self {
+			continue
+		}
+		resp, err := sr.Peers.Send(ctx, addr, MsgEstimate, EstimateBody{Round: sr.Round})
+		if err != nil {
+			return StepReply{}, fmt.Errorf("cdpsm: step: fetch estimate from %s: %w", addr, err)
+		}
+		var er EstimateReply
+		if err := resp.Decode(&er); err != nil {
+			return StepReply{}, err
+		}
+		if err := checkShape(er.Estimate, c, n); err != nil {
+			return StepReply{}, fmt.Errorf("cdpsm: estimate from %s: %w", addr, err)
+		}
+		estimates = append(estimates, er.Estimate)
+	}
+
+	consensus := opt.NewMatrix(c, n)
+	weights := make([]float64, len(estimates))
+	for i := range weights {
+		weights[i] = 1 / float64(len(estimates))
+	}
+	opt.Mean(consensus, weights, estimates...)
+
+	grad := opt.NewMatrix(c, n)
+	LocalGradient(sr.Prob, sr.Col, consensus, grad)
+	next := opt.Clone(consensus)
+	opt.AXPY(next, -body.Step, grad)
+	if err := LocalProjection(sr.Prob, sr.Col, 60)(next); err != nil {
+		return StepReply{}, err
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	moved := opt.Dist(next, st.committed)
+	st.staged = next
+	return StepReply{Moved: moved}, nil
+}

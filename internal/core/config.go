@@ -2,54 +2,44 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"edr/internal/engine"
 	"edr/internal/model"
 	"edr/internal/telemetry"
 )
 
-// Algorithm selects the distributed optimization method a replica fleet
-// runs during scheduling rounds.
-type Algorithm int
+// Algorithm names the distributed optimization method a replica fleet
+// runs during scheduling rounds. Values resolve through the solver-engine
+// registry (internal/engine), so a new method registers itself and becomes
+// selectable here without this package changing. The zero value selects
+// LDDM.
+type Algorithm string
 
 const (
 	// LDDM is the Lagrangian dual decomposition method (Algorithm 2).
-	LDDM Algorithm = iota
+	LDDM Algorithm = "LDDM"
 	// CDPSM is the consensus-based distributed projected subgradient
 	// method (Algorithm 1).
-	CDPSM
+	CDPSM Algorithm = "CDPSM"
 	// ADMM is the sharing-form alternating direction method of
 	// multipliers — this module's extension algorithm (internal/admm):
 	// LDDM-grade O(|C|·|N|) communication with proximal damping.
-	ADMM
+	ADMM Algorithm = "ADMM"
 )
 
 // String returns the paper's name for the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case LDDM:
-		return "LDDM"
-	case CDPSM:
-		return "CDPSM"
-	case ADMM:
-		return "ADMM"
-	default:
-		return fmt.Sprintf("algorithm(%d)", int(a))
-	}
-}
+func (a Algorithm) String() string { return string(a) }
 
-// ParseAlgorithm converts a figure label back to an Algorithm.
+// ParseAlgorithm resolves a name (case-insensitive) against the engine
+// registry.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
-	case "LDDM", "lddm":
-		return LDDM, nil
-	case "CDPSM", "cdpsm":
-		return CDPSM, nil
-	case "ADMM", "admm":
-		return ADMM, nil
-	default:
-		return 0, fmt.Errorf("core: unknown algorithm %q (want LDDM, CDPSM or ADMM)", s)
+	name := strings.ToUpper(s)
+	if _, ok := engine.Lookup(name); ok {
+		return Algorithm(name), nil
 	}
+	return "", fmt.Errorf("core: unknown algorithm %q (want one of %s)", s, strings.Join(engine.Names(), ", "))
 }
 
 // ReplicaConfig parameterizes one replica server.
@@ -57,7 +47,8 @@ type ReplicaConfig struct {
 	// Replica carries the energy-model parameters this node reports to
 	// round initiators (price, α, β, γ, bandwidth).
 	Replica model.Replica
-	// Algorithm selects LDDM or CDPSM for rounds this replica initiates.
+	// Algorithm selects the registered method for rounds this replica
+	// initiates; "" means LDDM.
 	Algorithm Algorithm
 	// MaxLatencySec is T for rounds this replica initiates; 0 means the
 	// paper default 1.8 ms.
@@ -99,6 +90,9 @@ type ReplicaConfig struct {
 
 func (c *ReplicaConfig) withDefaults() ReplicaConfig {
 	out := *c
+	if out.Algorithm == "" {
+		out.Algorithm = LDDM
+	}
 	if out.MaxLatencySec <= 0 {
 		out.MaxLatencySec = 0.0018
 	}

@@ -67,8 +67,8 @@ func TestAlgorithmString(t *testing.T) {
 	if LDDM.String() != "LDDM" || CDPSM.String() != "CDPSM" || ADMM.String() != "ADMM" {
 		t.Fatalf("names: %v %v %v", LDDM, CDPSM, ADMM)
 	}
-	if Algorithm(9).String() == "" {
-		t.Fatal("unknown algorithm empty name")
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Fatal("unregistered algorithm accepted")
 	}
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"edr/internal/admm"
+	"edr/internal/cdpsm"
+	"edr/internal/lddm"
+	"edr/internal/solver"
+)
+
+// The engine-driven distributed rounds must reproduce the in-process
+// solvers: same algorithm, same instance, matched iteration budgets.
+// Per-replica loads (column sums) and the objective are the comparable
+// quantities — the within-column split across clients is not unique, since
+// the energy cost depends only on each replica's total load.
+func TestEngineRoundsMatchInProcessSolvers(t *testing.T) {
+	// Seeded instance: deterministic demands shared by every subtest.
+	rng := rand.New(rand.NewPCG(7, 2026))
+	prices := []float64{1, 8, 4}
+	demands := make([]float64, 4)
+	total := 0.0
+	for i := range demands {
+		demands[i] = 15 + 25*rng.Float64()
+		total += demands[i]
+	}
+
+	cases := []struct {
+		alg      Algorithm
+		maxIters int
+		tol      float64
+		solver   solver.Solver
+		// loadTol is the per-replica load gap allowed between the live
+		// round and the in-process reference, as a fraction of total
+		// demand: the two runs stop at slightly different iterates (the
+		// in-process solvers carry stricter convergence gates).
+		loadTol float64
+		costTol float64
+	}{
+		{
+			alg: LDDM, maxIters: 800, tol: 0.005,
+			solver:  &lddm.Solver{MaxIters: 800, Tol: 0.005},
+			loadTol: 0.05, costTol: 0.05,
+		},
+		{
+			alg: ADMM, maxIters: 300, tol: 1e-4,
+			solver:  &admm.Solver{MaxIters: 300, Tol: 1e-4},
+			loadTol: 0.02, costTol: 0.02,
+		},
+		{
+			alg: CDPSM, maxIters: 400, tol: 1e-4,
+			solver:  &cdpsm.Solver{MaxIters: 400, Tol: 1e-4},
+			loadTol: 0.02, costTol: 0.02,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.alg), func(t *testing.T) {
+			f := newFleet(t, prices, len(demands), tc.alg)
+			for _, rs := range f.replicas {
+				rs.cfg.MaxIters = tc.maxIters
+				rs.cfg.Tol = tc.tol
+			}
+			ctx := context.Background()
+			demandOf := map[string]float64{}
+			for i, cl := range f.clients {
+				demandOf[cl.Addr()] = demands[i]
+				if err := cl.Submit(ctx, f.replicas[0].Addr(), demands[i], f.uniformLatencies()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			report, err := f.replicas[0].RunRound(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prob := rebuildProblem(t, prices, report, demandOf)
+			if v := prob.Violation(report.Assignment); v > 1e-4 {
+				t.Fatalf("live assignment infeasible by %g", v)
+			}
+			ref, err := tc.solver.Solve(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Column order: the report's replicas may be permuted relative
+			// to the rebuilt problem's creation order; rebuildProblem keeps
+			// the report's order, so the two assignments line up directly.
+			liveLoads := colSums(report.Assignment)
+			refLoads := colSums(ref.Assignment)
+			for j := range liveLoads {
+				if gap := math.Abs(liveLoads[j] - refLoads[j]); gap > tc.loadTol*total {
+					t.Fatalf("replica %s load: live %.3f vs in-process %.3f (gap %.3f > %.3f)",
+						report.ReplicaAddrs[j], liveLoads[j], refLoads[j], gap, tc.loadTol*total)
+				}
+			}
+			liveCost := prob.Cost(report.Assignment)
+			if gap := math.Abs(liveCost-ref.Objective) / ref.Objective; gap > tc.costTol {
+				t.Fatalf("objective: live %.4f vs in-process %.4f (gap %.2f%%)",
+					liveCost, ref.Objective, 100*gap)
+			}
+		})
+	}
+}
+
+func colSums(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]float64, len(m[0]))
+	for _, row := range m {
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}

@@ -18,7 +18,18 @@
 // notified, and the round restarts on the new ring.
 package core
 
-// Message types of the EDR wire protocol.
+import (
+	"edr/internal/admm"
+	"edr/internal/cdpsm"
+	"edr/internal/engine"
+	"edr/internal/lddm"
+)
+
+// Message types of the EDR wire protocol owned by the runtime itself.
+// The per-algorithm iteration verbs live with their algorithm packages
+// (the engine registry routes them to the right server half); they are
+// aliased below so this package's wire documentation stays complete and
+// historical names keep compiling.
 const (
 	// MsgClientRequest is client → replica: submit a demand.
 	MsgClientRequest = "client.request"
@@ -26,26 +37,37 @@ const (
 	MsgReplicaInfo = "replica.info"
 	// MsgRoundStart is initiator → replica: install a round's problem.
 	MsgRoundStart = "round.start"
-	// MsgLocalSolve is initiator → replica: run one LDDM local solve.
-	MsgLocalSolve = "replica.localsolve"
-	// MsgMuUpdate is initiator → client: apply one multiplier update.
-	MsgMuUpdate = "client.muupdate"
-	// MsgADMMProx is initiator → replica: solve one ADMM proximal
-	// subproblem against the shipped target.
-	MsgADMMProx = "replica.admm.prox"
-	// MsgCDPSMStep is initiator → replica: compute one consensus step.
-	MsgCDPSMStep = "replica.cdpsm.step"
-	// MsgCDPSMEstimate is replica → replica: fetch a peer's committed
-	// estimate.
-	MsgCDPSMEstimate = "replica.cdpsm.estimate"
-	// MsgCDPSMCommit is initiator → replica: commit the pending estimate.
-	MsgCDPSMCommit = "replica.cdpsm.commit"
 	// MsgAssign is initiator → replica: install the final assignment.
 	MsgAssign = "replica.assign"
 	// MsgAllocation is initiator → client: deliver the final allocation.
 	MsgAllocation = "client.allocation"
 	// MsgDownload is client → replica: fetch the selected bytes.
 	MsgDownload = "download.request"
+)
+
+// Algorithm-owned verbs (see the respective packages for semantics).
+const (
+	MsgLocalSolve    = lddm.MsgLocalSolve
+	MsgMuUpdate      = engine.MsgMuUpdate
+	MsgADMMProx      = admm.MsgProx
+	MsgCDPSMStep     = cdpsm.MsgStep
+	MsgCDPSMEstimate = cdpsm.MsgEstimate
+	MsgCDPSMCommit   = cdpsm.MsgCommit
+)
+
+// Algorithm-owned wire bodies, aliased under their historical names.
+type (
+	LocalSolveBody     = lddm.SolveBody
+	LocalSolveReply    = lddm.SolveReply
+	MuUpdateBody       = engine.MuUpdateBody
+	MuUpdateReply      = engine.MuUpdateReply
+	ADMMProxBody       = admm.ProxBody
+	ADMMProxReply      = admm.ProxReply
+	CDPSMStepBody      = cdpsm.StepBody
+	CDPSMStepReply     = cdpsm.StepReply
+	CDPSMEstimateBody  = cdpsm.EstimateBody
+	CDPSMEstimateReply = cdpsm.EstimateReply
+	CDPSMCommitBody    = cdpsm.CommitBody
 )
 
 // ReplicaInfo carries one replica's energy-model parameters (Table I) to
@@ -92,77 +114,6 @@ type RoundSpec struct {
 	LatencySec [][]float64 `json:"latency_sec"`
 	// MaxLatencySec is T.
 	MaxLatencySec float64 `json:"max_latency_sec"`
-}
-
-// LocalSolveBody asks a replica for one LDDM local solution.
-type LocalSolveBody struct {
-	Round int       `json:"round"`
-	Iter  int       `json:"iter"`
-	Mu    []float64 `json:"mu"`
-}
-
-// LocalSolveReply returns the replica's column {p_{c,n}}.
-type LocalSolveReply struct {
-	Column []float64 `json:"column"`
-}
-
-// MuUpdateBody asks a client to update its multiplier (Algorithm 2,
-// line 6: the update task "is assigned to the clients").
-type MuUpdateBody struct {
-	Round    int     `json:"round"`
-	Iter     int     `json:"iter"`
-	ServedMB float64 `json:"served_mb"`
-	DemandMB float64 `json:"demand_mb"`
-	Step     float64 `json:"step"`
-}
-
-// MuUpdateReply returns the client's new μ_c.
-type MuUpdateReply struct {
-	Mu float64 `json:"mu"`
-}
-
-// ADMMProxBody asks a replica for one proximal solve (see internal/admm):
-// the replica minimizes E_n(Σz) + (ρ/2)‖z − Target‖² over its local set.
-type ADMMProxBody struct {
-	Round  int       `json:"round"`
-	Iter   int       `json:"iter"`
-	Rho    float64   `json:"rho"`
-	Target []float64 `json:"target"`
-}
-
-// ADMMProxReply returns the proximal column.
-type ADMMProxReply struct {
-	Column []float64 `json:"column"`
-}
-
-// CDPSMStepBody asks a replica to run one consensus step: fetch all peer
-// estimates, average, take the local gradient step, project, and stage the
-// result (uncommitted).
-type CDPSMStepBody struct {
-	Round int     `json:"round"`
-	Iter  int     `json:"iter"`
-	Step  float64 `json:"step"`
-}
-
-// CDPSMStepReply reports how far the staged estimate moved.
-type CDPSMStepReply struct {
-	Moved float64 `json:"moved"`
-}
-
-// CDPSMEstimateBody fetches a peer's committed estimate for a round.
-type CDPSMEstimateBody struct {
-	Round int `json:"round"`
-}
-
-// CDPSMEstimateReply carries the flattened estimate (row-major C×N).
-type CDPSMEstimateReply struct {
-	Estimate [][]float64 `json:"estimate"`
-}
-
-// CDPSMCommitBody promotes the staged estimate to committed.
-type CDPSMCommitBody struct {
-	Round int `json:"round"`
-	Iter  int `json:"iter"`
 }
 
 // AssignBody installs the final per-replica serving plan.

@@ -5,8 +5,7 @@ import (
 	"fmt"
 	"sync"
 
-	"edr/internal/admm"
-	"edr/internal/lddm"
+	"edr/internal/engine"
 	"edr/internal/metrics"
 	"edr/internal/model"
 	"edr/internal/opt"
@@ -31,6 +30,7 @@ type ReplicaServer struct {
 	roundSeq   int
 	lastGood   *lastGoodRound // fallback assignment for degraded rounds
 	lastReport *RoundReport   // most recent completed round (admin /status)
+	pool       *opt.Pool      // recycles initiator-side round scratch
 
 	// Stats are exported runtime counters.
 	Stats ReplicaStats
@@ -58,16 +58,11 @@ type lastGoodRound struct {
 	assignment  [][]float64
 }
 
-// roundState is the participant-side view of one round.
+// roundState is the participant-side view of one round: the engine's
+// ServerRound (problem, column, lazily-built per-algorithm state) plus the
+// installed serving plan.
 type roundState struct {
-	spec    RoundSpec
-	prob    *opt.Problem
-	myCol   int
-	myLocal *lddm.LocalProblem
-
-	// CDPSM estimate state.
-	committed [][]float64
-	staged    [][]float64
+	eng *engine.ServerRound
 
 	// Final plan: MB to serve per client address.
 	plan map[string]float64
@@ -83,6 +78,10 @@ func NewReplicaServer(network transport.Network, addr string, members []string, 
 		cfg:     cfg.withDefaults(),
 		pending: make(map[string]*RequestBody),
 		rounds:  make(map[int]*roundState),
+		pool:    &opt.Pool{},
+	}
+	if _, ok := engine.Lookup(string(r.cfg.Algorithm)); !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", r.cfg.Algorithm)
 	}
 	node, err := network.Listen(addr, r.handle)
 	if err != nil {
@@ -176,7 +175,10 @@ func (r *ReplicaServer) Status() Status {
 	return s
 }
 
-// handle routes every incoming message.
+// handle routes every incoming message. Runtime verbs have their own
+// cases; any algorithm-owned iteration verb resolves through the engine
+// registry to the registered server half, so a new algorithm needs no
+// edit here.
 func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (transport.Message, error) {
 	switch req.Type {
 	case MsgClientRequest:
@@ -185,16 +187,6 @@ func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (tran
 		return r.handleReplicaInfo(req)
 	case MsgRoundStart:
 		return r.handleRoundStart(req)
-	case MsgLocalSolve:
-		return r.handleLocalSolve(req)
-	case MsgADMMProx:
-		return r.handleADMMProx(req)
-	case MsgCDPSMStep:
-		return r.handleCDPSMStep(ctx, req)
-	case MsgCDPSMEstimate:
-		return r.handleCDPSMEstimate(req)
-	case MsgCDPSMCommit:
-		return r.handleCDPSMCommit(req)
 	case MsgAssign:
 		return r.handleAssign(req)
 	case MsgDownload:
@@ -204,8 +196,52 @@ func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (tran
 	case ring.DeathType:
 		return r.mon.HandleDeath(req)
 	default:
+		if reg, ok := engine.ServerFor(req.Type); ok && reg.Server != nil {
+			return r.handleEngine(ctx, reg, req)
+		}
 		return transport.Message{}, fmt.Errorf("core: replica %s: unknown message type %q", r.Addr(), req.Type)
 	}
+}
+
+// handleEngine dispatches an algorithm verb to its registered server
+// half. Every algorithm body carries the round id, which locates the
+// participant state the server half operates on.
+func (r *ReplicaServer) handleEngine(ctx context.Context, reg *engine.Registration, req transport.Message) (transport.Message, error) {
+	var hdr struct {
+		Round int `json:"round"`
+	}
+	if err := req.DecodeBody(&hdr); err != nil {
+		return transport.Message{}, err
+	}
+	st, err := r.lookupRound(hdr.Round)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	body, err := reg.Server.Handle(ctx, req.Type, msgReply{req}, st.eng)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return transport.NewMessage(req.Type+".ack", r.Addr(), body)
+}
+
+// peerSender is the fabric handle an algorithm's server half uses to reach
+// its peer replicas mid-iteration (CDPSM's estimate pulls): one-shot sends
+// bounded by RPCTimeout — retrying is the initiator's business.
+type peerSender struct{ r *ReplicaServer }
+
+func (p peerSender) Send(ctx context.Context, to, verb string, body any) (engine.Reply, error) {
+	req, err := transport.NewMessage(verb, p.r.Addr(), body)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, p.r.cfg.RPCTimeout)
+	defer cancel()
+	resp, err := p.r.node.Send(cctx, to, req)
+	p.r.Stats.CoordMessages.Inc(1)
+	if err != nil {
+		return nil, err
+	}
+	return msgReply{resp}, nil
 }
 
 // handleClientRequest queues a client's demand (ClientListener role).
@@ -296,27 +332,21 @@ func (r *ReplicaServer) handleRoundStart(req transport.Message) (transport.Messa
 	if myCol < 0 {
 		return transport.Message{}, fmt.Errorf("core: replica %s not listed in round %d", r.Addr(), spec.Round)
 	}
-	mask := prob.Allowed()
-	allowed := make([]bool, prob.C())
-	for c := range allowed {
-		allowed[c] = mask[c][myCol]
+	replicaAddrs := make([]string, len(spec.Replicas))
+	for j, info := range spec.Replicas {
+		replicaAddrs[j] = info.Addr
 	}
-	st := &roundState{
-		spec:  spec,
-		prob:  prob,
-		myCol: myCol,
-		myLocal: &lddm.LocalProblem{
-			Replica: prob.System.Replicas[myCol],
-			Demands: prob.Demands,
-			Allowed: allowed,
-		},
-	}
-	// CDPSM needs an initial committed estimate.
-	start, err := prob.UniformStart()
-	if err != nil {
-		return transport.Message{}, err
-	}
-	st.committed = start
+	// Algorithm-specific participant state is built lazily by each server
+	// half on first use (engine.ServerRound.State), so a round pays only
+	// for the algorithm actually driven over it.
+	st := &roundState{eng: &engine.ServerRound{
+		Round:        spec.Round,
+		Prob:         prob,
+		Col:          myCol,
+		Self:         r.Addr(),
+		ReplicaAddrs: replicaAddrs,
+		Peers:        peerSender{r},
+	}}
 	r.mu.Lock()
 	r.rounds[spec.Round] = st
 	r.mu.Unlock()
@@ -332,50 +362,6 @@ func (r *ReplicaServer) lookupRound(round int) (*roundState, error) {
 		return nil, fmt.Errorf("core: replica %s has no state for round %d", r.Addr(), round)
 	}
 	return st, nil
-}
-
-// handleLocalSolve runs one LDDM local solve (Algorithm 2, line 4).
-func (r *ReplicaServer) handleLocalSolve(req transport.Message) (transport.Message, error) {
-	var body LocalSolveBody
-	if err := req.DecodeBody(&body); err != nil {
-		return transport.Message{}, err
-	}
-	st, err := r.lookupRound(body.Round)
-	if err != nil {
-		return transport.Message{}, err
-	}
-	if len(body.Mu) != st.prob.C() {
-		return transport.Message{}, fmt.Errorf("core: round %d: %d multipliers for %d clients", body.Round, len(body.Mu), st.prob.C())
-	}
-	st.myLocal.Mu = body.Mu
-	col, err := lddm.SolveLocal(st.myLocal)
-	if err != nil {
-		return transport.Message{}, err
-	}
-	return transport.NewMessage(MsgLocalSolve+".ack", r.Addr(), LocalSolveReply{Column: col})
-}
-
-// handleADMMProx runs one ADMM proximal solve on this replica's own
-// energy model (see internal/admm.ProximalColumn).
-func (r *ReplicaServer) handleADMMProx(req transport.Message) (transport.Message, error) {
-	var body ADMMProxBody
-	if err := req.DecodeBody(&body); err != nil {
-		return transport.Message{}, err
-	}
-	st, err := r.lookupRound(body.Round)
-	if err != nil {
-		return transport.Message{}, err
-	}
-	if len(body.Target) != st.prob.C() {
-		return transport.Message{}, fmt.Errorf("core: admm prox round %d: %d targets for %d clients", body.Round, len(body.Target), st.prob.C())
-	}
-	caps := make([]float64, st.prob.C())
-	copy(caps, st.prob.Demands)
-	col, err := admm.ProximalColumn(st.prob.System.Replicas[st.myCol], st.myLocal.Allowed, caps, body.Target, body.Rho, 40)
-	if err != nil {
-		return transport.Message{}, err
-	}
-	return transport.NewMessage(MsgADMMProx+".ack", r.Addr(), ADMMProxReply{Column: col})
 }
 
 // handleAssign installs the final serving plan.

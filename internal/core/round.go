@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sync"
 	"time"
 
+	"edr/internal/engine"
 	"edr/internal/opt"
 	"edr/internal/telemetry"
 	"edr/internal/transport"
@@ -162,32 +162,31 @@ func (r *ReplicaServer) sendReplica(ctx context.Context, to, msgType string, bod
 	return resp, nil
 }
 
-// fanOut runs fn for every index concurrently and returns the first
-// error. The paper's server and client are multithreaded ("create new
-// threads to communicate with all the replicas at the same time"), so one
-// coordination wave costs one round trip of wall time, not count × RTT.
-// On the first error the wave's context is cancelled so the remaining
-// sends abort promptly instead of running out their full RPC timeouts;
-// fanOut still waits for every goroutine to finish before returning, so
-// callers may reuse the buffers the callbacks wrote to.
-func fanOut(ctx context.Context, count int, fn func(ctx context.Context, i int) error) error {
-	if count == 0 {
-		return nil
+// msgReply adapts a transport.Message to the engine's Reply.
+type msgReply struct{ m transport.Message }
+
+func (mr msgReply) Decode(into any) error { return mr.m.DecodeBody(into) }
+
+// roundTransport adapts the replica's retry/attribution stack to the
+// engine's Transport: replica sends carry member-failure attribution so
+// RunRound can prune the peer and restart; client sends retry without it
+// (clients are not ring members).
+type roundTransport struct{ r *ReplicaServer }
+
+func (t roundTransport) Replica(ctx context.Context, addr, verb string, body any) (engine.Reply, error) {
+	resp, err := t.r.sendReplica(ctx, addr, verb, body)
+	if err != nil {
+		return nil, err
 	}
-	wctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	errs := make(chan error, count)
-	for i := 0; i < count; i++ {
-		go func(i int) { errs <- fn(wctx, i) }(i)
+	return msgReply{resp}, nil
+}
+
+func (t roundTransport) Client(ctx context.Context, addr, verb string, body any) (engine.Reply, error) {
+	resp, err := t.r.sendRetry(ctx, addr, verb, body)
+	if err != nil {
+		return nil, err
 	}
-	var first error
-	for i := 0; i < count; i++ {
-		if err := <-errs; err != nil && first == nil {
-			first = err
-			cancel()
-		}
-	}
-	return first
+	return msgReply{resp}, nil
 }
 
 // RunRound schedules all pending requests: it drains the queue, runs the
@@ -360,7 +359,7 @@ func (r *ReplicaServer) degradedRound(ctx context.Context, requests []*RequestBo
 	// Install the plan and notify the clients best-effort: a replica we
 	// cannot reach keeps its previous plan, which is exactly the fallback
 	// we are re-publishing.
-	_ = fanOut(ctx, len(cols), func(ctx context.Context, jj int) error {
+	_ = engine.FanOut(ctx, len(cols), func(ctx context.Context, jj int) error {
 		col := make([]float64, len(clientAddrs))
 		for i := range clientAddrs {
 			col[i] = assignment[i][jj]
@@ -467,7 +466,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 
 	// 1. Gather every member's model parameters (parallel fan-out).
 	infos := make([]ReplicaInfo, len(members))
-	if err := fanOut(ctx, len(members), func(ctx context.Context, i int) error {
+	if err := engine.FanOut(ctx, len(members), func(ctx context.Context, i int) error {
 		resp, err := r.sendReplica(ctx, members[i], MsgReplicaInfo, nil)
 		if err != nil {
 			return err
@@ -511,35 +510,49 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}
 
 	// 3. Install the round on every replica.
-	if err := fanOut(ctx, len(infos), func(ctx context.Context, i int) error {
+	if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, i int) error {
 		_, err := r.sendReplica(ctx, infos[i].Addr, MsgRoundStart, spec)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 
-	// 4. Run the distributed iterations. Trajectories are recorded only
-	// when someone is listening on the telemetry bus — the extra
-	// per-iteration objective evaluations stay off the unobserved path.
-	trace := roundTrace{observe: r.cfg.Telemetry.Active()}
-	var assignment [][]float64
-	var iterations int
-	switch r.cfg.Algorithm {
-	case LDDM:
-		assignment, iterations, err = r.runLDDM(ctx, &spec, prob, &trace)
-	case CDPSM:
-		assignment, iterations, err = r.runCDPSM(ctx, &spec, prob, &trace)
-	case ADMM:
-		assignment, iterations, err = r.runADMM(ctx, &spec, prob, &trace)
-	default:
-		err = fmt.Errorf("core: unknown algorithm %v", r.cfg.Algorithm)
+	// 4. Run the distributed iterations through the solver engine: the
+	// registered algorithm supplies the per-iteration exchanges and the
+	// convergence test, the shared driver owns fan-out, cancellation, and
+	// iteration accounting. Trajectories are recorded only when someone is
+	// listening on the telemetry bus — the extra per-iteration objective
+	// evaluations stay off the unobserved path.
+	reg, ok := engine.Lookup(string(r.cfg.Algorithm))
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", r.cfg.Algorithm)
 	}
+	replicaAddrs := make([]string, len(infos))
+	for j, info := range infos {
+		replicaAddrs[j] = info.Addr
+	}
+	trace := roundTrace{observe: r.cfg.Telemetry.Active()}
+	driver := &engine.Driver{
+		Transport: roundTransport{r},
+		Observe:   trace.observe,
+		OnIterate: func(_ int, residual, cost float64) { trace.add(residual, cost) },
+	}
+	rd := &engine.Round{
+		Seq:          round,
+		Prob:         prob,
+		ReplicaAddrs: replicaAddrs,
+		ClientAddrs:  spec.ClientAddrs,
+		MaxIters:     r.cfg.MaxIters,
+		Tol:          r.cfg.Tol,
+		Pool:         r.pool,
+	}
+	assignment, iterations, err := driver.Run(ctx, reg.New(), rd)
 	if err != nil {
 		return nil, err
 	}
 
 	// 5. Install the final plan on replicas and notify clients.
-	if err := fanOut(ctx, len(infos), func(ctx context.Context, j int) error {
+	if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, j int) error {
 		col := make([]float64, len(spec.ClientAddrs))
 		for i := range spec.ClientAddrs {
 			col[i] = assignment[i][j]
@@ -557,10 +570,6 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	r.lastGood = &lastGoodRound{infos: infos, clientAddrs: spec.ClientAddrs, assignment: assignment}
 	r.mu.Unlock()
 
-	replicaAddrs := make([]string, len(infos))
-	for j, info := range infos {
-		replicaAddrs[j] = info.Addr
-	}
 	return &RoundReport{
 		Round:        round,
 		Algorithm:    r.cfg.Algorithm.String(),
@@ -578,7 +587,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 // notifyClients delivers each client its allocation. Client failures never
 // abort a round: the other clients' allocations stand.
 func (r *ReplicaServer) notifyClients(ctx context.Context, round int, clientAddrs []string, infos []ReplicaInfo, assignment [][]float64, iterations int) {
-	_ = fanOut(ctx, len(clientAddrs), func(ctx context.Context, i int) error {
+	_ = engine.FanOut(ctx, len(clientAddrs), func(ctx context.Context, i int) error {
 		per := make(map[string]float64, len(infos))
 		for j, info := range infos {
 			if assignment[i][j] > 0 {
@@ -594,336 +603,4 @@ func (r *ReplicaServer) notifyClients(ctx context.Context, round int, clientAddr
 		_, _ = r.sendRetry(ctx, clientAddrs[i], MsgAllocation, body)
 		return nil
 	})
-}
-
-// runLDDM drives Algorithm 2 over the fabric: replicas answer local
-// solves, clients answer multiplier updates, and the initiator recovers
-// the primal from a doubling suffix average.
-func (r *ReplicaServer) runLDDM(ctx context.Context, spec *RoundSpec, prob *opt.Problem, trace *roundTrace) ([][]float64, int, error) {
-	c, n := prob.C(), prob.N()
-	tol := r.cfg.Tol
-	if tol <= 0 {
-		tol = 0.02
-	}
-	step := lddmAutoStepValue(prob)
-	mu := make([]float64, c)
-	primal := opt.NewMatrix(c, n)
-	avg := opt.NewMatrix(c, n)
-	windowStart := 1
-	iterations := 0
-
-	for k := 1; k <= r.cfg.MaxIters; k++ {
-		iterations = k
-		// Local solves, one per replica (parallel: disjoint columns).
-		if err := fanOut(ctx, n, func(ctx context.Context, j int) error {
-			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgLocalSolve, LocalSolveBody{Round: spec.Round, Iter: k, Mu: mu})
-			if err != nil {
-				return err
-			}
-			var reply LocalSolveReply
-			if err := resp.DecodeBody(&reply); err != nil {
-				return err
-			}
-			if len(reply.Column) != c {
-				return fmt.Errorf("core: %s returned %d entries for %d clients", spec.Replicas[j].Addr, len(reply.Column), c)
-			}
-			for i := 0; i < c; i++ {
-				primal[i][j] = reply.Column[i]
-			}
-			return nil
-		}); err != nil {
-			return nil, 0, err
-		}
-		// Multiplier updates, one per client (the clients own μ;
-		// parallel: disjoint μ entries).
-		if err := fanOut(ctx, c, func(ctx context.Context, i int) error {
-			served := 0.0
-			for j := 0; j < n; j++ {
-				served += primal[i][j]
-			}
-			body := MuUpdateBody{Round: spec.Round, Iter: k, ServedMB: served, DemandMB: spec.Demands[i], Step: step}
-			resp, err := r.sendRetry(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
-			if err != nil {
-				return fmt.Errorf("core: client %s μ update: %w", spec.ClientAddrs[i], err)
-			}
-			var reply MuUpdateReply
-			if err := resp.DecodeBody(&reply); err != nil {
-				return err
-			}
-			mu[i] = reply.Mu
-			return nil
-		}); err != nil {
-			return nil, 0, err
-		}
-		// Doubling suffix average + convergence check (see internal/lddm).
-		if k == windowStart*2 {
-			windowStart = k
-			opt.Fill(avg, 0)
-		}
-		w := k - windowStart + 1
-		opt.Scale(avg, float64(w-1)/float64(w))
-		opt.AXPY(avg, 1/float64(w), primal)
-		if trace.observe {
-			// The trajectory tracks the suffix-averaged iterate — the
-			// round's actual primal estimate; the raw water-filling primal
-			// oscillates and never itself converges.
-			rows := opt.RowSums(avg)
-			maxRel := 0.0
-			for i := 0; i < c; i++ {
-				denom := spec.Demands[i]
-				if denom < 1 {
-					denom = 1
-				}
-				if rel := math.Abs(rows[i]-spec.Demands[i]) / denom; rel > maxRel {
-					maxRel = rel
-				}
-			}
-			trace.add(maxRel, prob.Cost(avg))
-		}
-		if w >= 16 {
-			maxRel := 0.0
-			rows := opt.RowSums(avg)
-			for i := 0; i < c; i++ {
-				denom := spec.Demands[i]
-				if denom < 1 {
-					denom = 1
-				}
-				if rel := math.Abs(rows[i]-spec.Demands[i]) / denom; rel > maxRel {
-					maxRel = rel
-				}
-			}
-			if maxRel <= tol {
-				break
-			}
-		}
-	}
-
-	final := opt.Clone(avg)
-	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
-		return nil, 0, fmt.Errorf("core: lddm primal recovery: %w", err)
-	}
-	return final, iterations, nil
-}
-
-// lddmAutoStepValue mirrors lddm.AutoStep but returns the scalar value so
-// it can travel in μ-update messages.
-func lddmAutoStepValue(prob *opt.Problem) float64 {
-	totalDemand := 0.0
-	for _, d := range prob.Demands {
-		totalDemand += d
-	}
-	n := prob.N()
-	typLoad := totalDemand / float64(n)
-	meanMarginal := 0.0
-	for _, rep := range prob.System.Replicas {
-		meanMarginal += rep.MarginalCost(typLoad)
-	}
-	meanMarginal /= float64(n)
-	meanDemand := totalDemand / float64(prob.C())
-	if meanDemand <= 0 || meanMarginal <= 0 {
-		return 0.01
-	}
-	return meanMarginal / (50 * meanDemand)
-}
-
-// runADMM drives the sharing-ADMM extension over the fabric: replicas
-// answer proximal solves against initiator-assembled targets, and clients
-// hold the scaled dual (their MuUpdate rule with step 1/|N| is exactly the
-// ADMM dual update u += (served − R)/|N|).
-func (r *ReplicaServer) runADMM(ctx context.Context, spec *RoundSpec, prob *opt.Problem, trace *roundTrace) ([][]float64, int, error) {
-	c, n := prob.C(), prob.N()
-	tol := r.cfg.Tol
-	if tol <= 0 {
-		tol = 1e-3
-	}
-	rho := admmAutoRho(prob)
-	z := opt.NewMatrix(n, c) // transposed: z[replica][client]
-	u := make([]float64, c)
-	share := make([]float64, c)
-	demandNorm := 0.0
-	for i := 0; i < c; i++ {
-		share[i] = spec.Demands[i] / float64(n)
-		demandNorm += spec.Demands[i] * spec.Demands[i]
-	}
-	demandNorm = math.Sqrt(demandNorm)
-	rowAvg := make([]float64, c)
-	iterations := 0
-	for k := 1; k <= r.cfg.MaxIters; k++ {
-		iterations = k
-		for i := 0; i < c; i++ {
-			sum := 0.0
-			for j := 0; j < n; j++ {
-				sum += z[j][i]
-			}
-			rowAvg[i] = sum / float64(n)
-		}
-		// Proximal solves (parallel: disjoint z rows).
-		if err := fanOut(ctx, n, func(ctx context.Context, j int) error {
-			target := make([]float64, c)
-			for i := 0; i < c; i++ {
-				target[i] = z[j][i] - rowAvg[i] + share[i] - u[i]
-			}
-			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgADMMProx, ADMMProxBody{Round: spec.Round, Iter: k, Rho: rho, Target: target})
-			if err != nil {
-				return err
-			}
-			var reply ADMMProxReply
-			if err := resp.DecodeBody(&reply); err != nil {
-				return err
-			}
-			if len(reply.Column) != c {
-				return fmt.Errorf("core: %s returned %d entries for %d clients", spec.Replicas[j].Addr, len(reply.Column), c)
-			}
-			copy(z[j], reply.Column)
-			return nil
-		}); err != nil {
-			return nil, 0, err
-		}
-		// Dual updates at the clients (step 1/|N| realizes the ADMM rule).
-		maxPrimal := 0.0
-		var mu sync.Mutex
-		if err := fanOut(ctx, c, func(ctx context.Context, i int) error {
-			served := 0.0
-			for j := 0; j < n; j++ {
-				served += z[j][i]
-			}
-			body := MuUpdateBody{Round: spec.Round, Iter: k, ServedMB: served, DemandMB: spec.Demands[i], Step: 1 / float64(n)}
-			resp, err := r.sendRetry(ctx, spec.ClientAddrs[i], MsgMuUpdate, body)
-			if err != nil {
-				return fmt.Errorf("core: client %s dual update: %w", spec.ClientAddrs[i], err)
-			}
-			var reply MuUpdateReply
-			if err := resp.DecodeBody(&reply); err != nil {
-				return err
-			}
-			u[i] = reply.Mu
-			mu.Lock()
-			if res := math.Abs(served - spec.Demands[i]); res > maxPrimal {
-				maxPrimal = res
-			}
-			mu.Unlock()
-			return nil
-		}); err != nil {
-			return nil, 0, err
-		}
-		if trace.observe {
-			x := opt.NewMatrix(c, n)
-			for j := 0; j < n; j++ {
-				for i := 0; i < c; i++ {
-					x[i][j] = z[j][i]
-				}
-			}
-			trace.add(maxPrimal, prob.Cost(x))
-		}
-		if maxPrimal <= tol*(1+demandNorm) {
-			break
-		}
-	}
-	final := opt.NewMatrix(c, n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < c; i++ {
-			final[i][j] = z[j][i]
-		}
-	}
-	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
-		return nil, 0, fmt.Errorf("core: admm primal recovery: %w", err)
-	}
-	return final, iterations, nil
-}
-
-// admmAutoRho mirrors internal/admm's penalty scaling.
-func admmAutoRho(prob *opt.Problem) float64 {
-	total := 0.0
-	for _, d := range prob.Demands {
-		total += d
-	}
-	n := prob.N()
-	typLoad := total / float64(n)
-	meanMarginal := 0.0
-	for _, rep := range prob.System.Replicas {
-		meanMarginal += rep.MarginalCost(typLoad)
-	}
-	meanMarginal /= float64(n)
-	meanDemand := total / float64(prob.C())
-	if meanDemand <= 0 || meanMarginal <= 0 {
-		return 1
-	}
-	return meanMarginal / meanDemand
-}
-
-// runCDPSM drives Algorithm 1 over the fabric: step (each replica pulls
-// every peer's committed estimate and stages its update) then commit, per
-// iteration; the final assignment is the average of the committed
-// estimates, polished to exact feasibility.
-func (r *ReplicaServer) runCDPSM(ctx context.Context, spec *RoundSpec, prob *opt.Problem, trace *roundTrace) ([][]float64, int, error) {
-	tol := r.cfg.Tol
-	if tol <= 0 {
-		tol = 1e-3
-	}
-	const step = 0.05 // the paper's constant step
-	iterations := 0
-	nReplicas := len(spec.Replicas)
-	for k := 1; k <= r.cfg.MaxIters; k++ {
-		iterations = k
-		moved := make([]float64, nReplicas)
-		if err := fanOut(ctx, nReplicas, func(ctx context.Context, j int) error {
-			resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMStep, CDPSMStepBody{Round: spec.Round, Iter: k, Step: step})
-			if err != nil {
-				return err
-			}
-			var reply CDPSMStepReply
-			if err := resp.DecodeBody(&reply); err != nil {
-				return err
-			}
-			moved[j] = reply.Moved
-			return nil
-		}); err != nil {
-			return nil, 0, err
-		}
-		if err := fanOut(ctx, nReplicas, func(ctx context.Context, j int) error {
-			_, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMCommit, CDPSMCommitBody{Round: spec.Round, Iter: k})
-			return err
-		}); err != nil {
-			return nil, 0, err
-		}
-		maxMoved := 0.0
-		for _, m := range moved {
-			if m > maxMoved {
-				maxMoved = m
-			}
-		}
-		// No initiator-side primal iterate exists between consensus
-		// steps, so CDPSM records a residual-only trajectory.
-		trace.add(maxMoved, math.NaN())
-		if maxMoved <= tol {
-			break
-		}
-	}
-
-	// Average the committed estimates.
-	c, n := prob.C(), prob.N()
-	estimates := make([][][]float64, nReplicas)
-	if err := fanOut(ctx, nReplicas, func(ctx context.Context, j int) error {
-		resp, err := r.sendReplica(ctx, spec.Replicas[j].Addr, MsgCDPSMEstimate, CDPSMEstimateBody{Round: spec.Round})
-		if err != nil {
-			return err
-		}
-		var reply CDPSMEstimateReply
-		if err := resp.DecodeBody(&reply); err != nil {
-			return err
-		}
-		estimates[j] = reply.Estimate
-		return nil
-	}); err != nil {
-		return nil, 0, err
-	}
-	sum := opt.NewMatrix(c, n)
-	for _, est := range estimates {
-		opt.Add(sum, est)
-	}
-	opt.Scale(sum, 1/float64(nReplicas))
-	if err := opt.ProjectFeasible(prob, sum, 1e-6); err != nil {
-		return nil, 0, fmt.Errorf("core: cdpsm final polish: %w", err)
-	}
-	return sum, iterations, nil
 }

@@ -1,0 +1,243 @@
+// Package engine is the distributed solver-engine layer of the EDR
+// runtime: one shared iteration driver plus a small Algorithm contract
+// that the paper's two methods (CDPSM, Algorithm 1; LDDM, Algorithm 2)
+// and the ADMM extension all plug into.
+//
+// The family of distributed methods EDR runs shares one skeleton (cf. the
+// unified ADM framework of Feng, Xu & Li, arXiv:1407.8309): per iteration
+// the initiator fans a request out to every replica and/or every client,
+// folds the replies into local state, tests a residual, and finally
+// recovers a feasible primal assignment. The driver owns everything that
+// is the same across methods — concurrent fan-out, retry/cancellation
+// semantics (delegated to the Transport), iteration accounting, and the
+// residual/cost trajectory hook telemetry consumes — while an Algorithm
+// describes only what differs: the per-iteration exchanges (verb, body
+// builder, reply folder), the convergence test, and primal recovery.
+// Adding a new method (dual gradient tracking, an accelerated variant) is
+// a ~100-line registry entry, not a fork of internal/core.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"edr/internal/opt"
+)
+
+// Round is the engine's view of one scheduling round on the initiator.
+type Round struct {
+	// Seq is the initiator-local round id, echoed in every wire body.
+	Seq int
+	// Prob is the optimization instance the round solves.
+	Prob *opt.Problem
+	// ReplicaAddrs lists the participating replicas in column order.
+	ReplicaAddrs []string
+	// ClientAddrs lists the participating clients in row order.
+	ClientAddrs []string
+	// MaxIters bounds the distributed iterations (0 = no iterations: the
+	// algorithm recovers straight from its initial state).
+	MaxIters int
+	// Tol is the configured convergence tolerance; <= 0 selects the
+	// algorithm's own default.
+	Tol float64
+	// Pool recycles the round's scratch matrices/vectors; the driver
+	// creates one when nil and releases it when the round ends. Buffers
+	// that outlive the round (the recovered assignment) must be cloned.
+	Pool *opt.Pool
+}
+
+// PeerClass selects which side of the fabric an Exchange addresses.
+type PeerClass int
+
+const (
+	// Replicas fans out over Round.ReplicaAddrs; failures are attributed
+	// to the member so the round can restart without it.
+	Replicas PeerClass = iota
+	// Clients fans out over Round.ClientAddrs; failures surface
+	// unattributed (clients are not ring members).
+	Clients
+)
+
+// Reply decodes one peer's response body.
+type Reply interface {
+	Decode(into any) error
+}
+
+// Transport is the fabric the driver runs exchanges over. The runtime's
+// ReplicaServer implements it with its retry/backoff/attribution stack;
+// tests implement it in-process.
+type Transport interface {
+	// Replica performs one coordination RPC to a replica. An error after
+	// the transport's retry budget should carry member-failure
+	// attribution so the caller can prune the peer and restart.
+	Replica(ctx context.Context, addr, verb string, body any) (Reply, error)
+	// Client performs one RPC to a client (retry, no attribution).
+	Client(ctx context.Context, addr, verb string, body any) (Reply, error)
+}
+
+// Exchange is one declarative fan-out wave: the driver sends Verb to
+// every peer of Class concurrently, building each request body with Body
+// and folding each reply with Fold. Body and Fold are indexed by the
+// peer's position in the round's address list and may run concurrently
+// for distinct indexes — they must only touch disjoint state unless they
+// lock.
+type Exchange struct {
+	Verb  string
+	Class PeerClass
+	// Body builds the request body for peer i (nil Body sends an empty
+	// body).
+	Body func(i int) any
+	// Fold consumes peer i's reply (nil Fold discards it).
+	Fold func(i int, r Reply) error
+}
+
+// Algorithm is the initiator half of a distributed method. The driver
+// calls Init once, then per iteration runs the Iterate exchanges in order
+// (full barrier between exchanges) and asks Converged whether to stop;
+// Recover assembles the final feasible assignment.
+type Algorithm interface {
+	// Init prepares per-round state (scratch from rd.Pool, defaults for
+	// rd.Tol). The Round stays valid until the driver returns.
+	Init(rd *Round) error
+	// Iterate returns iteration k's exchanges. Implementations may return
+	// a cached slice whose closures read k from algorithm state.
+	Iterate(k int) []Exchange
+	// Converged reports iteration k's residual and whether the loop is
+	// done. It runs after the iteration's exchanges complete, every
+	// iteration, so the residual doubles as the telemetry trajectory —
+	// compute it once here, not in a separate trace branch.
+	Converged(k int) (residual float64, done bool)
+	// Recover assembles the final assignment after the loop ends. The
+	// returned matrix must be freshly allocated (not Pool-owned): it
+	// outlives the round. Algorithms needing a closing exchange (CDPSM's
+	// estimate collection) run it through d.Exec.
+	Recover(ctx context.Context, d *Driver) ([][]float64, error)
+}
+
+// PrimalTracer is optionally implemented by algorithms that hold a
+// costable primal iterate between iterations; the driver records its
+// objective on the telemetry trajectory. Algorithms without one (CDPSM —
+// the initiator holds no primal between consensus steps) simply don't
+// implement it and get a residual-only trajectory.
+type PrimalTracer interface {
+	// Primal returns the current primal iterate in client×replica layout,
+	// or nil when none is available this iteration.
+	Primal() [][]float64
+}
+
+// Driver runs Algorithms over a Transport. The zero value is unusable;
+// populate Transport at least.
+type Driver struct {
+	Transport Transport
+	// Observe gates trajectory recording: when false, OnIterate is never
+	// called and no per-iteration objective is evaluated, keeping the
+	// unobserved hot path free of extra work.
+	Observe bool
+	// OnIterate, when Observe is set, receives each iteration's residual
+	// and primal cost (NaN when the algorithm exposes no primal).
+	OnIterate func(iter int, residual, cost float64)
+}
+
+// Run drives one round of alg to convergence (or rd.MaxIters) and returns
+// the recovered assignment and the number of iterations executed. The
+// round's Pool is released before returning, success or failure alike.
+func (d *Driver) Run(ctx context.Context, alg Algorithm, rd *Round) ([][]float64, int, error) {
+	if rd.Pool == nil {
+		rd.Pool = &opt.Pool{}
+	}
+	defer rd.Pool.Release()
+	if err := alg.Init(rd); err != nil {
+		return nil, 0, err
+	}
+	tracer, _ := alg.(PrimalTracer)
+	iterations := 0
+	for k := 1; k <= rd.MaxIters; k++ {
+		iterations = k
+		for _, ex := range alg.Iterate(k) {
+			if err := d.Exec(ctx, rd, ex); err != nil {
+				return nil, 0, err
+			}
+		}
+		residual, done := alg.Converged(k)
+		if d.Observe && d.OnIterate != nil {
+			cost := math.NaN()
+			if tracer != nil {
+				if x := tracer.Primal(); x != nil {
+					cost = rd.Prob.Cost(x)
+				}
+			}
+			d.OnIterate(k, residual, cost)
+		}
+		if done {
+			break
+		}
+	}
+	final, err := alg.Recover(ctx, d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return final, iterations, nil
+}
+
+// Exec runs one exchange: a concurrent fan-out of ex.Verb over the
+// exchange's peer class, cancelled as a wave on the first error.
+func (d *Driver) Exec(ctx context.Context, rd *Round, ex Exchange) error {
+	addrs := rd.ReplicaAddrs
+	if ex.Class == Clients {
+		addrs = rd.ClientAddrs
+	}
+	return FanOut(ctx, len(addrs), func(ctx context.Context, i int) error {
+		var body any
+		if ex.Body != nil {
+			body = ex.Body(i)
+		}
+		var (
+			reply Reply
+			err   error
+		)
+		if ex.Class == Clients {
+			reply, err = d.Transport.Client(ctx, addrs[i], ex.Verb, body)
+			if err != nil {
+				return fmt.Errorf("engine: client %s %s: %w", addrs[i], ex.Verb, err)
+			}
+		} else {
+			reply, err = d.Transport.Replica(ctx, addrs[i], ex.Verb, body)
+			if err != nil {
+				return err
+			}
+		}
+		if ex.Fold != nil {
+			return ex.Fold(i, reply)
+		}
+		return nil
+	})
+}
+
+// FanOut runs fn for every index concurrently and returns the first
+// error. The paper's server and client are multithreaded ("create new
+// threads to communicate with all the replicas at the same time"), so one
+// coordination wave costs one round trip of wall time, not count × RTT.
+// On the first error the wave's context is cancelled so the remaining
+// sends abort promptly instead of running out their full RPC timeouts;
+// FanOut still waits for every goroutine to finish before returning, so
+// callers may reuse the buffers the callbacks wrote to.
+func FanOut(ctx context.Context, count int, fn func(ctx context.Context, i int) error) error {
+	if count == 0 {
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make(chan error, count)
+	for i := 0; i < count; i++ {
+		go func(i int) { errs <- fn(wctx, i) }(i)
+	}
+	var first error
+	for i := 0; i < count; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+			cancel()
+		}
+	}
+	return first
+}

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"edr/internal/opt"
+)
+
+// fakeReply wraps an in-process value behind the Reply interface.
+type fakeReply struct{ v float64 }
+
+func (f fakeReply) Decode(into any) error {
+	p, ok := into.(*float64)
+	if !ok {
+		return fmt.Errorf("fake reply decodes into *float64, got %T", into)
+	}
+	*p = f.v
+	return nil
+}
+
+// fakeTransport answers every send with the peer's configured value and
+// records traffic per verb.
+type fakeTransport struct {
+	mu      sync.Mutex
+	values  map[string]float64
+	sent    map[string]int
+	failOn  string // addr whose sends error
+	clients int
+}
+
+func (t *fakeTransport) roundTrip(addr, verb string) (Reply, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sent == nil {
+		t.sent = make(map[string]int)
+	}
+	t.sent[verb]++
+	if addr == t.failOn {
+		return nil, errors.New("peer down")
+	}
+	return fakeReply{v: t.values[addr]}, nil
+}
+
+func (t *fakeTransport) Replica(ctx context.Context, addr, verb string, body any) (Reply, error) {
+	return t.roundTrip(addr, verb)
+}
+
+func (t *fakeTransport) Client(ctx context.Context, addr, verb string, body any) (Reply, error) {
+	t.mu.Lock()
+	t.clients++
+	t.mu.Unlock()
+	return t.roundTrip(addr, verb)
+}
+
+// sumAlg is a toy Algorithm: each iteration pulls one value per replica,
+// accumulates the total, and converges when the total reaches target.
+type sumAlg struct {
+	rd       *Round
+	total    float64
+	target   float64
+	pulled   []float64
+	inits    int
+	recovers int
+}
+
+func (a *sumAlg) Init(rd *Round) error {
+	a.rd = rd
+	a.inits++
+	a.pulled = make([]float64, len(rd.ReplicaAddrs))
+	return nil
+}
+
+func (a *sumAlg) Iterate(k int) []Exchange {
+	return []Exchange{{
+		Verb:  "toy.pull",
+		Class: Replicas,
+		Fold: func(i int, r Reply) error {
+			return r.Decode(&a.pulled[i])
+		},
+	}}
+}
+
+func (a *sumAlg) Converged(k int) (float64, bool) {
+	for _, v := range a.pulled {
+		a.total += v
+	}
+	residual := a.target - a.total
+	return residual, residual <= 0
+}
+
+func (a *sumAlg) Recover(ctx context.Context, d *Driver) ([][]float64, error) {
+	a.recovers++
+	return [][]float64{{a.total}}, nil
+}
+
+func (a *sumAlg) Primal() [][]float64 { return nil }
+
+func testRound() *Round {
+	return &Round{
+		Seq:          1,
+		ReplicaAddrs: []string{"r1", "r2"},
+		ClientAddrs:  []string{"c1"},
+		MaxIters:     10,
+	}
+}
+
+func TestDriverRunsUntilConverged(t *testing.T) {
+	tr := &fakeTransport{values: map[string]float64{"r1": 1, "r2": 2}}
+	alg := &sumAlg{target: 9} // 3 per iteration → done after 3
+	d := &Driver{Transport: tr}
+	final, iters, err := d.Run(context.Background(), alg, testRound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 3 {
+		t.Fatalf("iterations = %d, want 3", iters)
+	}
+	if final[0][0] != 9 {
+		t.Fatalf("recovered %v, want 9", final[0][0])
+	}
+	if alg.inits != 1 || alg.recovers != 1 {
+		t.Fatalf("inits=%d recovers=%d, want 1/1", alg.inits, alg.recovers)
+	}
+	if tr.sent["toy.pull"] != 6 {
+		t.Fatalf("sent %d pulls, want 6", tr.sent["toy.pull"])
+	}
+}
+
+func TestDriverStopsAtMaxIters(t *testing.T) {
+	tr := &fakeTransport{values: map[string]float64{"r1": 0, "r2": 0}}
+	alg := &sumAlg{target: 1} // never reached
+	d := &Driver{Transport: tr}
+	_, iters, err := d.Run(context.Background(), alg, testRound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 10 {
+		t.Fatalf("iterations = %d, want MaxIters 10", iters)
+	}
+}
+
+func TestDriverObservesTrajectory(t *testing.T) {
+	tr := &fakeTransport{values: map[string]float64{"r1": 1, "r2": 2}}
+	alg := &sumAlg{target: 6}
+	var residuals []float64
+	d := &Driver{
+		Transport: tr,
+		Observe:   true,
+		OnIterate: func(iter int, residual, cost float64) {
+			residuals = append(residuals, residual)
+		},
+	}
+	if _, _, err := d.Run(context.Background(), alg, testRound()); err != nil {
+		t.Fatal(err)
+	}
+	if len(residuals) != 2 || residuals[0] != 3 || residuals[1] != 0 {
+		t.Fatalf("residual trajectory %v, want [3 0]", residuals)
+	}
+}
+
+func TestDriverUnobservedSkipsCallback(t *testing.T) {
+	tr := &fakeTransport{values: map[string]float64{"r1": 1, "r2": 2}}
+	alg := &sumAlg{target: 3}
+	d := &Driver{
+		Transport: tr,
+		Observe:   false,
+		OnIterate: func(int, float64, float64) { t.Fatal("OnIterate called while unobserved") },
+	}
+	if _, _, err := d.Run(context.Background(), alg, testRound()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverReplicaErrorAborts(t *testing.T) {
+	tr := &fakeTransport{values: map[string]float64{"r1": 1}, failOn: "r2"}
+	alg := &sumAlg{target: 100}
+	d := &Driver{Transport: tr}
+	_, _, err := d.Run(context.Background(), alg, testRound())
+	if err == nil || !strings.Contains(err.Error(), "peer down") {
+		t.Fatalf("err = %v, want peer down", err)
+	}
+	if alg.recovers != 0 {
+		t.Fatal("Recover ran after a failed iteration")
+	}
+}
+
+func TestExecClientErrorIsWrapped(t *testing.T) {
+	tr := &fakeTransport{failOn: "c1"}
+	d := &Driver{Transport: tr}
+	err := d.Exec(context.Background(), testRound(), Exchange{Verb: "toy.notify", Class: Clients})
+	if err == nil || !strings.Contains(err.Error(), `engine: client c1 toy.notify`) {
+		t.Fatalf("err = %v, want wrapped client error", err)
+	}
+}
+
+func TestDriverDefaultsAndReleasesPool(t *testing.T) {
+	tr := &fakeTransport{values: map[string]float64{"r1": 1, "r2": 2}}
+	rd := testRound()
+	d := &Driver{Transport: tr}
+	if _, _, err := d.Run(context.Background(), d.poolProbe(t, rd), rd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// poolProbe returns an Algorithm that asserts the driver installed a Pool
+// before Init and that Pool buffers are usable.
+func (d *Driver) poolProbe(t *testing.T, rd *Round) Algorithm {
+	t.Helper()
+	return &probeAlg{t: t}
+}
+
+type probeAlg struct {
+	t *testing.T
+	sumAlg
+}
+
+func (p *probeAlg) Init(rd *Round) error {
+	if rd.Pool == nil {
+		p.t.Fatal("driver did not default the pool")
+	}
+	if v := rd.Pool.Vector(3); len(v) != 3 {
+		p.t.Fatalf("pool vector len %d", len(v))
+	}
+	p.target = 3
+	return p.sumAlg.Init(rd)
+}
+
+func TestFanOutCancelsWaveOnError(t *testing.T) {
+	blocked := make(chan struct{})
+	err := FanOut(context.Background(), 2, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return errors.New("boom")
+		}
+		// The second goroutine waits for cancellation: FanOut must cancel
+		// the wave and still wait for it to finish.
+		<-ctx.Done()
+		close(blocked)
+		return ctx.Err()
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	select {
+	case <-blocked:
+	default:
+		t.Fatal("FanOut returned before the cancelled goroutine finished")
+	}
+}
+
+func TestFanOutEmpty(t *testing.T) {
+	if err := FanOut(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	Register(Registration{
+		Name:  "TEST-ALG",
+		New:   func() Algorithm { return &sumAlg{} },
+		Verbs: []string{"test.alg.step"},
+	})
+	if _, ok := Lookup("TEST-ALG"); !ok {
+		t.Fatal("registered algorithm not found")
+	}
+	if reg, ok := ServerFor("test.alg.step"); !ok || reg.Name != "TEST-ALG" {
+		t.Fatalf("ServerFor = %v, %v", reg, ok)
+	}
+	if _, ok := ServerFor("test.alg.unknown"); ok {
+		t.Fatal("unknown verb resolved")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "TEST-ALG" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing TEST-ALG", Names())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	mustPanic := func(name string, reg Registration) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register did not panic", name)
+			}
+		}()
+		Register(reg)
+	}
+	Register(Registration{Name: "TEST-DUP", New: func() Algorithm { return &sumAlg{} }, Verbs: []string{"test.dup.step"}})
+	mustPanic("dup name", Registration{Name: "TEST-DUP", New: func() Algorithm { return &sumAlg{} }})
+	mustPanic("dup verb", Registration{Name: "TEST-DUP2", New: func() Algorithm { return &sumAlg{} }, Verbs: []string{"test.dup.step"}})
+	mustPanic("no factory", Registration{Name: "TEST-DUP3"})
+}
+
+func TestServerRoundStateLazyAndSticky(t *testing.T) {
+	sr := &ServerRound{Round: 1}
+	builds := 0
+	build := func() (any, error) { builds++; return &struct{ n int }{}, nil }
+	first, err := sr.State("A", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sr.State("A", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second || builds != 1 {
+		t.Fatalf("state rebuilt: builds=%d", builds)
+	}
+	if _, err := sr.State("B", func() (any, error) { return nil, errors.New("nope") }); err == nil {
+		t.Fatal("build error swallowed")
+	}
+}
+
+func TestServerRoundStateConcurrent(t *testing.T) {
+	sr := &ServerRound{Round: 1}
+	var wg sync.WaitGroup
+	results := make([]any, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := sr.State("X", func() (any, error) { return opt.NewMatrix(2, 2), nil })
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for _, st := range results[1:] {
+		if fmt.Sprintf("%p", st) != fmt.Sprintf("%p", results[0]) {
+			t.Fatal("concurrent State calls built distinct states")
+		}
+	}
+}

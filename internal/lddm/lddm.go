@@ -61,6 +61,17 @@ func AutoStep(prob *opt.Problem) opt.StepRule {
 // of 50 is conservative, while the Fig 5 convergence experiment uses a
 // more aggressive ramp.
 func AutoStepScaled(prob *opt.Problem, rampIters float64) opt.StepRule {
+	return opt.ConstantStep(autoStepValue(prob, rampIters))
+}
+
+// AutoStepValue is AutoStep's constant as a scalar, for callers that ship
+// the step inside wire messages (the distributed round's μ updates)
+// rather than evaluating a StepRule.
+func AutoStepValue(prob *opt.Problem) float64 {
+	return autoStepValue(prob, 50)
+}
+
+func autoStepValue(prob *opt.Problem, rampIters float64) float64 {
 	totalDemand := 0.0
 	for _, r := range prob.Demands {
 		totalDemand += r
@@ -74,12 +85,35 @@ func AutoStepScaled(prob *opt.Problem, rampIters float64) opt.StepRule {
 	meanMarginal /= float64(n)
 	meanDemand := totalDemand / float64(prob.C())
 	if meanDemand <= 0 || meanMarginal <= 0 {
-		return opt.ConstantStep(0.01)
+		return 0.01
 	}
 	if rampIters <= 0 {
 		rampIters = 50
 	}
-	return opt.ConstantStep(meanMarginal / (rampIters * meanDemand))
+	return meanMarginal / (rampIters * meanDemand)
+}
+
+// DemandResidual returns the worst relative demand violation of x's row
+// sums: max_c |Σ_n x[c][n] − R_c| / max(R_c, 1). rows is optional scratch
+// of length len(x) (allocated when nil). The in-process solver and the
+// distributed round's convergence test share this one definition, so the
+// traced trajectory and the stopping rule can never drift apart.
+func DemandResidual(x [][]float64, demands, rows []float64) float64 {
+	if rows == nil {
+		rows = make([]float64, len(x))
+	}
+	opt.RowSumsInto(rows, x)
+	maxRel := 0.0
+	for i, r := range rows {
+		denom := demands[i]
+		if denom < 1 {
+			denom = 1
+		}
+		if rel := math.Abs(r-demands[i]) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
 }
 
 // Solve implements solver.Solver.
@@ -124,6 +158,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 
 	res := &solver.Result{}
 	primal := opt.NewMatrix(c, n)
+	avgRows := make([]float64, c)
 	// Suffix-averaged primal iterate (restarted at powers of two): dual
 	// gradient methods with constant steps oscillate around the optimum;
 	// the window average converges, and restarting sheds burn-in bias.
@@ -168,17 +203,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 		// oscillation.
 		maxRel := math.Inf(1)
 		if w >= 64 {
-			maxRel = 0
-			avgRows := opt.RowSums(avg)
-			for i := 0; i < c; i++ {
-				denom := prob.Demands[i]
-				if denom < 1 {
-					denom = 1
-				}
-				if rel := abs(avgRows[i]-prob.Demands[i]) / denom; rel > maxRel {
-					maxRel = rel
-				}
-			}
+			maxRel = DemandResidual(avg, prob.Demands, avgRows)
 		}
 
 		// Communication accounting (paper §III-D.2): each iteration every
@@ -236,11 +261,4 @@ func normalizeRows(prob *opt.Problem, x [][]float64) [][]float64 {
 		}
 	}
 	return out
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

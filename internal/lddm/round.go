@@ -1,0 +1,200 @@
+package lddm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"edr/internal/engine"
+	"edr/internal/opt"
+)
+
+// MsgLocalSolve is initiator → replica: solve the replica-local problem
+// for the current multipliers and return the resulting column.
+const MsgLocalSolve = "replica.localsolve"
+
+// SolveBody carries the clients' multipliers to one replica.
+type SolveBody struct {
+	Round int       `json:"round"`
+	Iter  int       `json:"iter"`
+	Mu    []float64 `json:"mu"`
+}
+
+// SolveReply returns the replica's column of the primal iterate.
+type SolveReply struct {
+	Column []float64 `json:"column"`
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:   "LDDM",
+		New:    func() engine.Algorithm { return &roundAlg{} },
+		Server: serverHalf{},
+		Verbs:  []string{MsgLocalSolve},
+	})
+}
+
+// roundAlg is the initiator half of Algorithm 2 over the fabric: replicas
+// answer local solves, clients answer multiplier updates, and the final
+// assignment is recovered from a doubling suffix average of the primal.
+type roundAlg struct {
+	rd   *engine.Round
+	k    int
+	tol  float64
+	step float64
+
+	mu          []float64
+	primal, avg [][]float64
+	rows        []float64
+	windowStart int
+	residual    float64
+
+	exchanges []engine.Exchange
+}
+
+func (a *roundAlg) Init(rd *engine.Round) error {
+	c, n := rd.Prob.C(), rd.Prob.N()
+	a.rd = rd
+	a.tol = rd.Tol
+	if a.tol <= 0 {
+		a.tol = 0.02
+	}
+	a.step = AutoStepValue(rd.Prob)
+	a.mu = rd.Pool.Vector(c)
+	a.primal = rd.Pool.Matrix(c, n)
+	a.avg = rd.Pool.Matrix(c, n)
+	a.rows = rd.Pool.Vector(c)
+	a.windowStart = 1
+	a.exchanges = []engine.Exchange{
+		{
+			// Local solves, one per replica (Algorithm 2 lines 4–5;
+			// parallel: disjoint primal columns).
+			Verb:  MsgLocalSolve,
+			Class: engine.Replicas,
+			Body: func(j int) any {
+				return SolveBody{Round: rd.Seq, Iter: a.k, Mu: a.mu}
+			},
+			Fold: func(j int, r engine.Reply) error {
+				var reply SolveReply
+				if err := r.Decode(&reply); err != nil {
+					return err
+				}
+				if len(reply.Column) != c {
+					return fmt.Errorf("lddm: %s returned %d entries for %d clients",
+						rd.ReplicaAddrs[j], len(reply.Column), c)
+				}
+				for i := 0; i < c; i++ {
+					a.primal[i][j] = reply.Column[i]
+				}
+				return nil
+			},
+		},
+		{
+			// Multiplier updates, one per client — the clients own μ
+			// (line 6; parallel: disjoint μ entries).
+			Verb:  engine.MsgMuUpdate,
+			Class: engine.Clients,
+			Body: func(i int) any {
+				served := 0.0
+				for j := 0; j < n; j++ {
+					served += a.primal[i][j]
+				}
+				return engine.MuUpdateBody{
+					Round:    rd.Seq,
+					Iter:     a.k,
+					ServedMB: served,
+					DemandMB: rd.Prob.Demands[i],
+					Step:     a.step,
+				}
+			},
+			Fold: func(i int, r engine.Reply) error {
+				var reply engine.MuUpdateReply
+				if err := r.Decode(&reply); err != nil {
+					return err
+				}
+				a.mu[i] = reply.Mu
+				return nil
+			},
+		},
+	}
+	return nil
+}
+
+func (a *roundAlg) Iterate(k int) []engine.Exchange {
+	a.k = k
+	return a.exchanges
+}
+
+// Converged folds the fresh primal into the doubling suffix average and
+// tests its demand residual: the raw water-filling iterate oscillates
+// under a constant dual step, so the averaged iterate — also what Recover
+// starts from — is the thing to test and to trace. The convergence gate
+// waits for a window of 16 so a freshly-restarted average cannot
+// spuriously pass.
+func (a *roundAlg) Converged(k int) (float64, bool) {
+	if k == a.windowStart*2 {
+		a.windowStart = k
+		opt.Fill(a.avg, 0)
+	}
+	w := k - a.windowStart + 1
+	opt.Scale(a.avg, float64(w-1)/float64(w))
+	opt.AXPY(a.avg, 1/float64(w), a.primal)
+	a.residual = DemandResidual(a.avg, a.rd.Prob.Demands, a.rows)
+	return a.residual, w >= 16 && a.residual <= a.tol
+}
+
+// Primal exposes the suffix-averaged iterate for trajectory costing.
+func (a *roundAlg) Primal() [][]float64 { return a.avg }
+
+func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, error) {
+	final := opt.Clone(a.avg)
+	if err := opt.ProjectFeasible(a.rd.Prob, final, 1e-6); err != nil {
+		return nil, fmt.Errorf("lddm: primal recovery: %w", err)
+	}
+	return final, nil
+}
+
+// serverState is one replica's LDDM view of a round: its local
+// water-filling problem, re-solved against each iteration's multipliers.
+type serverState struct {
+	mu    sync.Mutex
+	local *LocalProblem
+}
+
+// serverHalf answers MsgLocalSolve on a participant replica.
+type serverHalf struct{}
+
+func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr *engine.ServerRound) (any, error) {
+	var body SolveBody
+	if err := req.Decode(&body); err != nil {
+		return nil, err
+	}
+	c := sr.Prob.C()
+	if len(body.Mu) != c {
+		return nil, fmt.Errorf("lddm: round %d: %d multipliers for %d clients", body.Round, len(body.Mu), c)
+	}
+	st, err := sr.State("LDDM", func() (any, error) {
+		mask := sr.Prob.Allowed()
+		allowed := make([]bool, c)
+		for i := range allowed {
+			allowed[i] = mask[i][sr.Col]
+		}
+		return &serverState{local: &LocalProblem{
+			Replica: sr.Prob.System.Replicas[sr.Col],
+			Demands: sr.Prob.Demands,
+			Allowed: allowed,
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ls := st.(*serverState)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.local.Mu = body.Mu
+	col, err := SolveLocal(ls.local)
+	if err != nil {
+		return nil, err
+	}
+	return SolveReply{Column: col}, nil
+}

@@ -1,0 +1,89 @@
+package opt
+
+import "sync"
+
+// Pool is an arena-style recycler for the dense matrices and vectors a
+// round driver's steady state churns through. Each scheduling round used
+// to re-`make` its primal/average/row-sum scratch; a long-lived Pool lets
+// consecutive rounds of the same shape reuse those buffers instead, so the
+// steady-state iteration allocates (almost) nothing.
+//
+// Matrix and Vector hand out zeroed buffers and remember them; Release
+// returns every outstanding buffer to the per-shape free lists. A buffer
+// that must outlive the round — the final assignment a report keeps — must
+// be copied out (Clone) before Release, never returned directly.
+//
+// A Pool is safe for concurrent use, but the intended discipline is one
+// round at a time: acquire during Init/iterate, Release when the round
+// ends (success or failure alike).
+type Pool struct {
+	mu      sync.Mutex
+	freeMat map[[2]int][][][]float64
+	freeVec map[int][][]float64
+	liveMat [][][]float64
+	liveVec [][]float64
+}
+
+// Matrix returns a zeroed rows×cols matrix, reusing a released one of the
+// same shape when available.
+func (p *Pool) Matrix(rows, cols int) [][]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := [2]int{rows, cols}
+	var m [][]float64
+	if free := p.freeMat[key]; len(free) > 0 {
+		m = free[len(free)-1]
+		p.freeMat[key] = free[:len(free)-1]
+		Fill(m, 0)
+	} else {
+		m = NewMatrix(rows, cols)
+	}
+	p.liveMat = append(p.liveMat, m)
+	return m
+}
+
+// Vector returns a zeroed length-n vector, reusing a released one of the
+// same length when available.
+func (p *Pool) Vector(n int) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v []float64
+	if free := p.freeVec[n]; len(free) > 0 {
+		v = free[len(free)-1]
+		p.freeVec[n] = free[:len(free)-1]
+		for i := range v {
+			v[i] = 0
+		}
+	} else {
+		v = make([]float64, n)
+	}
+	p.liveVec = append(p.liveVec, v)
+	return v
+}
+
+// Release returns every buffer handed out since the last Release to the
+// free lists. Callers must not touch previously acquired buffers after
+// Release — the next round will overwrite them.
+func (p *Pool) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freeMat == nil {
+		p.freeMat = make(map[[2]int][][][]float64)
+	}
+	if p.freeVec == nil {
+		p.freeVec = make(map[int][][]float64)
+	}
+	for _, m := range p.liveMat {
+		cols := 0
+		if len(m) > 0 {
+			cols = len(m[0])
+		}
+		key := [2]int{len(m), cols}
+		p.freeMat[key] = append(p.freeMat[key], m)
+	}
+	for _, v := range p.liveVec {
+		p.freeVec[len(v)] = append(p.freeVec[len(v)], v)
+	}
+	p.liveMat = p.liveMat[:0]
+	p.liveVec = p.liveVec[:0]
+}
