@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"edr/internal/admm"
 	"edr/internal/cdpsm"
 	"edr/internal/central"
 	"edr/internal/core"
@@ -161,14 +162,23 @@ func BenchmarkFig9EDRRound(b *testing.B) { benchEDRRound(b, false) }
 func BenchmarkFig9EDRRoundTelemetry(b *testing.B) { benchEDRRound(b, true) }
 
 // BenchmarkSteadyStateRound measures back-to-back scheduling rounds on one
-// long-lived unobserved fleet — the steady state a deployed initiator sits
-// in. Unlike benchEDRRound, the fleet is built once outside the timer, so
-// the per-op allocation figure isolates the round hot path itself: the
-// number this guards is what the engine's buffer pool (opt.Pool) exists to
-// keep flat across rounds.
+// long-lived unobserved fleet at paper scale (100 clients, 10 replicas) —
+// the steady state a deployed initiator sits in. Unlike benchEDRRound, the
+// fleet is built once outside the timer, so the per-op allocation figure
+// isolates the round hot path itself: the number this guards is what the
+// engine's buffer pool (opt.Pool) and the parallel solver kernels exist to
+// keep flat across rounds. Parallelism is left at auto (GOMAXPROCS), so
+//
+//	go test -bench SteadyStateRound -cpu 1,8 -benchmem
+//
+// compares the serial and parallel hot paths on identical work.
 func BenchmarkSteadyStateRound(b *testing.B) {
-	prices := []float64{3, 7, 12}
-	names := []string{"replica1", "replica2", "replica3"}
+	const nReplicas = 10
+	prices := []float64{3, 7, 12, 5, 9, 2, 14, 6, 11, 4}[:nReplicas]
+	names := make([]string, nReplicas)
+	for j := range names {
+		names[j] = fmt.Sprintf("replica%d", j+1)
+	}
 	net := transport.NewInProcNetwork()
 	var replicas []*core.ReplicaServer
 	for j, price := range prices {
@@ -185,9 +195,12 @@ func BenchmarkSteadyStateRound(b *testing.B) {
 		defer rs.Close()
 		replicas = append(replicas, rs)
 	}
-	const count = 16
+	const count = 100
 	ctx := context.Background()
-	lat := map[string]float64{"replica1": 0.0005, "replica2": 0.0005, "replica3": 0.0005}
+	lat := make(map[string]float64, nReplicas)
+	for _, name := range names {
+		lat[name] = 0.0005
+	}
 	var clients []*core.Client
 	for c := 0; c < count; c++ {
 		cl, err := core.NewClient(net, fmt.Sprintf("client%d", c+1))
@@ -224,6 +237,62 @@ func paperScaleProblem(b *testing.B, seed uint64) *opt.Problem {
 		b.Fatal(err)
 	}
 	return prob
+}
+
+// solveScaleProblem builds the large instance the parallel solver kernels
+// are sized for: C=100 clients over N=10 replicas — past every kernel's
+// work gate, so the fan-out paths actually run.
+func solveScaleProblem(b *testing.B, seed uint64) *opt.Problem {
+	b.Helper()
+	prob, err := probgen.MustFeasible(sim.NewRand(seed), probgen.Spec{
+		Clients: 100, Replicas: 10, Geo: true, DemandLo: 1, DemandHi: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// BenchmarkSolve measures each distributed solver's full Solve on the
+// C=100, N=10 instance with iteration bounds held fixed, so ns/op tracks
+// per-iteration kernel cost. Parallelism stays at auto (GOMAXPROCS):
+//
+//	go test -bench 'BenchmarkSolve/' -cpu 1,8 -benchmem
+//
+// compares the serial (-cpu 1) and parallel (-cpu 8) kernels on identical,
+// bit-for-bit-equivalent work (see TestParallelSolversMatchSerialBitForBit).
+func BenchmarkSolve(b *testing.B) {
+	prob := solveScaleProblem(b, 2026)
+	b.Run("LDDM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := lddm.New()
+			s.MaxIters = 400
+			if _, err := s.Solve(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CDPSM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := cdpsm.New()
+			s.MaxIters = 25
+			if _, err := s.Solve(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ADMM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := admm.New()
+			s.MaxIters = 60
+			if _, err := s.Solve(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSolverLDDM runs the LDDM engine on the paper-scale instance.
@@ -359,6 +428,64 @@ func BenchmarkMaxFlowFeasibility(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMatrixWireBytes round-trips the frame CDPSM pulls from every
+// peer every iteration — a full 100×10 estimate matrix — through both body
+// codecs, reporting bytes/frame for each. The binary codec is the default
+// for matrix-bearing verbs; JSON remains the fallback for pre-codec peers
+// (-wire-json). The bytes/frame ratio is the per-iteration wire saving.
+func BenchmarkMatrixWireBytes(b *testing.B) {
+	r := sim.NewRand(7)
+	est := make([][]float64, 100)
+	for i := range est {
+		est[i] = make([]float64, 10)
+		for j := range est[i] {
+			est[i][j] = r.Range(0, 40)
+		}
+	}
+	body := cdpsm.EstimateReply{Estimate: est}
+	bench := func(b *testing.B, msg transport.Message) {
+		var buf bytes.Buffer
+		if err := transport.WriteFrame(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		frameBytes := float64(buf.Len())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := transport.WriteFrame(&buf, msg); err != nil {
+				b.Fatal(err)
+			}
+			got, err := transport.ReadFrame(&buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var back cdpsm.EstimateReply
+			if err := got.DecodeBody(&back); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(frameBytes, "bytes/frame")
+	}
+	b.Run("Binary", func(b *testing.B) {
+		msg, err := transport.NewMessage("cdpsm.estimate.ack", "replica1", body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(msg.Bin) == 0 {
+			b.Fatal("estimate reply did not take the binary codec")
+		}
+		bench(b, msg)
+	})
+	b.Run("JSON", func(b *testing.B) {
+		msg, err := transport.NewJSONMessage("cdpsm.estimate.ack", "replica1", body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench(b, msg)
+	})
 }
 
 // BenchmarkWireCodec measures one frame round-trip of the TCP codec.

@@ -23,8 +23,16 @@ func main() {
 		seed = flag.Uint64("seed", 2013, "base random seed (experiments are deterministic per seed)")
 		out  = flag.String("out", "", "directory to write CSV tables into (empty: don't write)")
 		list = flag.Bool("list", false, "list available experiments and exit")
+		perf = flag.Bool("perf", false, "benchmark the round hot path (solver kernels serial vs parallel, wire codec) and write BENCH_round.json to -out (or cwd)")
 	)
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*out, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

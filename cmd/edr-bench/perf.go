@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"edr/internal/admm"
+	"edr/internal/cdpsm"
+	"edr/internal/lddm"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+	"edr/internal/transport"
+)
+
+// perfReport is the machine-readable round-hot-path benchmark: per-solver
+// serial vs parallel cost at paper scale plus the wire cost of the matrix
+// frames CDPSM exchanges every iteration. Written as BENCH_round.json so
+// CI and regressions diff a stable schema rather than parse bench output.
+type perfReport struct {
+	Schema     string       `json:"schema"`
+	Seed       uint64       `json:"seed"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Clients    int          `json:"clients"`
+	Replicas   int          `json:"replicas"`
+	Solvers    []solverPerf `json:"solvers"`
+	Wire       wirePerf     `json:"wire"`
+	Notes      []string     `json:"notes,omitempty"`
+}
+
+type solverPerf struct {
+	Algorithm           string  `json:"algorithm"`
+	MaxIters            int     `json:"max_iters"`
+	SerialNsPerOp       int64   `json:"serial_ns_per_op"`
+	ParallelNsPerOp     int64   `json:"parallel_ns_per_op"`
+	Speedup             float64 `json:"speedup_vs_serial"`
+	SerialBytesPerOp    int64   `json:"serial_b_per_op"`
+	ParallelBytesPerOp  int64   `json:"parallel_b_per_op"`
+	SerialAllocsPerOp   int64   `json:"serial_allocs_per_op"`
+	ParallelAllocsPerOp int64   `json:"parallel_allocs_per_op"`
+}
+
+type wirePerf struct {
+	// One estimate frame: the |C|×|N| matrix reply CDPSM pulls per peer.
+	BinaryFrameBytes int     `json:"binary_frame_bytes"`
+	JSONFrameBytes   int     `json:"json_frame_bytes"`
+	Ratio            float64 `json:"json_over_binary"`
+	// One CDPSM iteration fleet-wide: every agent pulls from N-1 peers.
+	BinaryBytesPerIteration int `json:"binary_bytes_per_iteration"`
+	JSONBytesPerIteration   int `json:"json_bytes_per_iteration"`
+}
+
+// runPerf benchmarks the round hot path (solver kernels serial vs
+// parallel, estimate-frame wire cost) and writes BENCH_round.json into
+// outDir (cwd when empty).
+func runPerf(outDir string, seed uint64) error {
+	const clients, replicas = 100, 10
+	prob, err := probgen.MustFeasible(sim.NewRand(seed), probgen.Spec{
+		Clients: clients, Replicas: replicas, Geo: true, DemandLo: 1, DemandHi: 6,
+	})
+	if err != nil {
+		return err
+	}
+	report := perfReport{
+		Schema:     "edr/bench-round/v1",
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    clients,
+		Replicas:   replicas,
+	}
+	if report.GOMAXPROCS <= 1 {
+		report.Notes = append(report.Notes,
+			"GOMAXPROCS=1: the auto-sized worker pool degrades to the serial kernel, so speedup_vs_serial ~1 is expected on this host")
+	}
+
+	mk := func(alg string, parallelism int) (solver.Solver, int) {
+		switch alg {
+		case "LDDM":
+			s := lddm.New()
+			s.MaxIters = 400
+			s.Parallelism = parallelism
+			return s, s.MaxIters
+		case "CDPSM":
+			s := cdpsm.New()
+			s.MaxIters = 25
+			s.Parallelism = parallelism
+			return s, s.MaxIters
+		default:
+			s := admm.New()
+			s.MaxIters = 60
+			s.Parallelism = parallelism
+			return s, s.MaxIters
+		}
+	}
+	bench := func(s solver.Solver) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, alg := range []string{"LDDM", "CDPSM", "ADMM"} {
+		serialSolver, iters := mk(alg, -1)
+		parallelSolver, _ := mk(alg, 0) // auto: GOMAXPROCS-wide pool
+		serial := bench(serialSolver)
+		parallel := bench(parallelSolver)
+		sp := solverPerf{
+			Algorithm:           alg,
+			MaxIters:            iters,
+			SerialNsPerOp:       serial.NsPerOp(),
+			ParallelNsPerOp:     parallel.NsPerOp(),
+			SerialBytesPerOp:    serial.AllocedBytesPerOp(),
+			ParallelBytesPerOp:  parallel.AllocedBytesPerOp(),
+			SerialAllocsPerOp:   serial.AllocsPerOp(),
+			ParallelAllocsPerOp: parallel.AllocsPerOp(),
+		}
+		if parallel.NsPerOp() > 0 {
+			sp.Speedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+		}
+		report.Solvers = append(report.Solvers, sp)
+		fmt.Printf("perf %-6s serial %12d ns/op  parallel %12d ns/op  speedup %.2fx\n",
+			alg, sp.SerialNsPerOp, sp.ParallelNsPerOp, sp.Speedup)
+	}
+
+	wire, err := measureWire(prob.C(), prob.N())
+	if err != nil {
+		return err
+	}
+	report.Wire = wire
+	fmt.Printf("perf wire   estimate frame %d B binary vs %d B json (%.2fx); per CDPSM iteration %d B vs %d B\n",
+		wire.BinaryFrameBytes, wire.JSONFrameBytes, wire.Ratio,
+		wire.BinaryBytesPerIteration, wire.JSONBytesPerIteration)
+
+	if outDir == "" {
+		outDir = "."
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_round.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// measureWire frames one C×N estimate reply through both codecs and
+// extrapolates to a full CDPSM iteration (N agents each pulling N-1
+// peer estimates).
+func measureWire(c, n int) (wirePerf, error) {
+	r := sim.NewRand(7)
+	est := opt.NewMatrix(c, n)
+	for i := range est {
+		for j := range est[i] {
+			est[i][j] = r.Range(0, 40)
+		}
+	}
+	body := cdpsm.EstimateReply{Estimate: est}
+	frame := func(msg transport.Message, err error) (int, error) {
+		if err != nil {
+			return 0, err
+		}
+		var buf bytes.Buffer
+		if err := transport.WriteFrame(&buf, msg); err != nil {
+			return 0, err
+		}
+		return buf.Len(), nil
+	}
+	bin, err := frame(transport.NewMessage("cdpsm.estimate.ack", "replica1", body))
+	if err != nil {
+		return wirePerf{}, err
+	}
+	js, err := frame(transport.NewJSONMessage("cdpsm.estimate.ack", "replica1", body))
+	if err != nil {
+		return wirePerf{}, err
+	}
+	pulls := n * (n - 1)
+	w := wirePerf{
+		BinaryFrameBytes:        bin,
+		JSONFrameBytes:          js,
+		BinaryBytesPerIteration: bin * pulls,
+		JSONBytesPerIteration:   js * pulls,
+	}
+	if bin > 0 {
+		w.Ratio = float64(js) / float64(bin)
+	}
+	return w, nil
+}

@@ -47,6 +47,10 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "ring heartbeat interval")
 		maxIters  = flag.Int("max-iters", 200, "distributed iteration bound per round")
 
+		// Round hot-path performance knobs.
+		parallelism = flag.Int("parallelism", 0, "solver-kernel worker count (0 = GOMAXPROCS, -1 = serial)")
+		wireJSON    = flag.Bool("wire-json", false, "force JSON bodies on initiated RPCs (disable the compact binary codec; for pre-codec peers)")
+
 		// Transient-fault tolerance knobs.
 		rpcTimeout   = flag.Duration("rpc-timeout", 3*time.Second, "deadline per coordination RPC attempt (lower it when injecting faults: a black-holed send stalls this long)")
 		sendRetries  = flag.Int("send-retries", 2, "coordination RPC retries before a failure is attributed to the peer (-1 disables)")
@@ -117,6 +121,8 @@ func main() {
 		SendRetries:  *sendRetries,
 		RetryBase:    *retryBase,
 		RoundRetries: *roundRetries,
+		Parallelism:  *parallelism,
+		WireJSON:     *wireJSON,
 		Telemetry:    bus,
 	})
 	if err != nil {

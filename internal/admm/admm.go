@@ -45,6 +45,10 @@ type Solver struct {
 	// LocalIters bounds the 1-D ternary-search steps of each proximal
 	// subproblem (each step costs two slice projections); 0 means 40.
 	LocalIters int
+	// Parallelism fans the per-replica proximal solves (disjoint z rows)
+	// across cores: > 0 pins the worker count, 0 sizes from GOMAXPROCS,
+	// < 0 forces serial. Parallel and serial runs are bit-identical.
+	Parallelism int
 }
 
 // New returns an ADMM solver with defaults.
@@ -80,6 +84,10 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	}
 
 	mask := prob.Allowed()
+	// Per-replica proximal solves write disjoint z rows against read-only
+	// shared state, so they fan across cores bit-identically; the gate
+	// keeps small instances serial.
+	par := opt.NewParallel(s.Parallelism).Gate(c * n)
 	// Per-replica columns z_n, shared scaled dual u (per client), and the
 	// per-client demand share R/|N|.
 	z := opt.NewMatrix(n, c) // note: transposed layout, z[n][cl]
@@ -90,8 +98,19 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	}
 	rowAvg := make([]float64, c)
 	prevAvg := make([]float64, c)
-	target := make([]float64, c)
+	// The caps are constant (each client's demand) and the latency masks
+	// are per replica: hoist both out of the iteration loop. Targets get
+	// one scratch row per chunk so concurrent solves never share one.
 	caps := make([]float64, c)
+	copy(caps, prob.Demands)
+	allowed := make([][]bool, n)
+	for j := 0; j < n; j++ {
+		allowed[j] = make([]bool, c)
+		for i := 0; i < c; i++ {
+			allowed[j][i] = mask[i][j]
+		}
+	}
+	targets := opt.NewMatrix(par.Chunks(n), c)
 
 	demandNorm := 0.0
 	for _, d := range prob.Demands {
@@ -112,14 +131,21 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 			rowAvg[i] = sum / float64(n)
 		}
 		// Each replica's proximal solve against its target.
-		for j := 0; j < n; j++ {
-			for i := 0; i < c; i++ {
-				target[i] = z[j][i] - rowAvg[i] + share[i] - u[i]
-				caps[i] = prob.Demands[i]
+		if err := par.ForErr(n, func(chunk, lo, hi int) error {
+			target := targets[chunk]
+			for j := lo; j < hi; j++ {
+				for i := 0; i < c; i++ {
+					target[i] = z[j][i] - rowAvg[i] + share[i] - u[i]
+				}
+				out, err := ProximalColumn(prob.System.Replicas[j], allowed[j], caps, target, rho, localIters)
+				if err != nil {
+					return fmt.Errorf("admm: replica %d proximal: %w", j, err)
+				}
+				copy(z[j], out)
 			}
-			if err := s.proximal(prob, j, mask, z[j], target, caps, rho, localIters); err != nil {
-				return nil, err
-			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		// Dual update from the fresh row averages.
 		maxPrimal := 0.0
@@ -162,27 +188,12 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 			x[i][j] = z[j][i]
 		}
 	}
-	if err := opt.ProjectFeasible(prob, x, 1e-6); err != nil {
+	if err := opt.ProjectFeasiblePar(prob, x, 1e-6, par); err != nil {
 		return nil, fmt.Errorf("admm: final polish: %w", err)
 	}
 	res.Assignment = x
 	res.Objective = prob.Cost(x)
 	return res, nil
-}
-
-// proximal solves replica j's subproblem into z via ProximalColumn.
-func (s *Solver) proximal(prob *opt.Problem, j int, mask [][]bool, z, t, caps []float64, rho float64, iters int) error {
-	c := len(z)
-	allowed := make([]bool, c)
-	for i := 0; i < c; i++ {
-		allowed[i] = mask[i][j]
-	}
-	out, err := ProximalColumn(prob.System.Replicas[j], allowed, caps, t, rho, iters)
-	if err != nil {
-		return fmt.Errorf("admm: replica %d proximal: %w", j, err)
-	}
-	copy(z, out)
-	return nil
 }
 
 // ProximalColumn solves one replica's ADMM subproblem

@@ -1,0 +1,48 @@
+package admm
+
+import "edr/internal/transport"
+
+// Compact binary codecs (transport binary body v1) for the ADMM verbs:
+// the proximal target vector out, the updated column back. Request bodies
+// lead with the u32 LE round id per the wire convention.
+
+func (b ProxBody) MarshalBinary() ([]byte, error) {
+	out := transport.AppendUint32(nil, uint32(b.Round))
+	out = transport.AppendUint32(out, uint32(b.Iter))
+	out = transport.AppendFloat64(out, b.Rho)
+	return transport.AppendFloats(out, b.Target), nil
+}
+
+func (b *ProxBody) UnmarshalBinary(data []byte) error {
+	round, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	iter, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	rho, data, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	target, _, err := transport.ReadFloats(data)
+	if err != nil {
+		return err
+	}
+	b.Round, b.Iter, b.Rho, b.Target = int(round), int(iter), rho, target
+	return nil
+}
+
+func (b ProxReply) MarshalBinary() ([]byte, error) {
+	return transport.AppendFloats(nil, b.Column), nil
+}
+
+func (b *ProxReply) UnmarshalBinary(data []byte) error {
+	col, _, err := transport.ReadFloats(data)
+	if err != nil {
+		return err
+	}
+	b.Column = col
+	return nil
+}

@@ -60,6 +60,11 @@ type Solver struct {
 	// and cutting communication to O(|C|·|N|²) at the price of slower
 	// consensus (information diffuses around the ring in O(|N|) steps).
 	Topology Topology
+	// Parallelism fans the per-agent consensus+gradient+projection steps
+	// across cores: > 0 pins the worker count, 0 sizes from GOMAXPROCS,
+	// < 0 forces serial. Parallel and serial runs are bit-identical —
+	// each agent writes only its own estimate.
+	Parallelism int
 }
 
 // Topology is a CDPSM gossip pattern.
@@ -128,18 +133,29 @@ type agentState struct {
 
 // LocalProjection builds agent i's constraint-set projection P_i.
 func LocalProjection(prob *opt.Problem, agent int, sweeps int) opt.SetProjection {
+	return LocalProjectionPar(prob, agent, sweeps, nil)
+}
+
+// LocalProjectionPar is LocalProjection with the per-client row sweep
+// fanned over par (nil = serial, identical results). The returned closure
+// owns reused scratch, so it is safe for repeated sequential calls but
+// not for concurrent calls of the same closure.
+func LocalProjectionPar(prob *opt.Problem, agent int, sweeps int, par *opt.Parallel) opt.SetProjection {
 	mask := prob.Allowed()
 	caps := prob.Caps()
+	par = par.Gate(prob.C() * prob.N())
 	rowSet := func(x [][]float64) error {
-		for c := range x {
-			if err := opt.ProjectMaskedCappedSimplex(x[c], caps[c], mask[c], prob.Demands[c]); err != nil {
-				return fmt.Errorf("cdpsm: agent %d client %d: %w", agent, c, err)
+		return par.ForErr(len(x), func(_, lo, hi int) error {
+			for c := lo; c < hi; c++ {
+				if err := opt.ProjectMaskedCappedSimplex(x[c], caps[c], mask[c], prob.Demands[c]); err != nil {
+					return fmt.Errorf("cdpsm: agent %d client %d: %w", agent, c, err)
+				}
 			}
-		}
-		return nil
+			return nil
+		})
 	}
+	col := make([]float64, prob.C()) // hoisted: reused across every sweep
 	colSet := func(x [][]float64) error {
-		col := make([]float64, len(x))
 		for c := range x {
 			col[c] = x[c][agent]
 		}
@@ -187,6 +203,13 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c, n := prob.C(), prob.N()
+	// Fan the per-agent work across cores: each agent's consensus step,
+	// gradient step and projection write only that agent's next[i] (plus
+	// per-chunk scratch), so parallel and serial runs are bit-identical —
+	// the gate keeps test-sized instances on the serial path.
+	par := opt.NewParallel(s.Parallelism).Gate(c * n * nAgents)
+	chunks := par.Chunks(nAgents)
 
 	// Initialize every agent from the uniform start projected into its
 	// local set (paper line 1: "Set the unit price of replica i" — prices
@@ -200,15 +223,28 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	for i := range agents {
 		agents[i].estimate = opt.Clone(start)
 		projections[i] = LocalProjection(prob, i, sweeps)
-		if err := projections[i](agents[i].estimate); err != nil {
-			return nil, err
+	}
+	if err := par.ForErr(nAgents, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := projections[i](agents[i].estimate); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	res := &solver.Result{}
-	c, n := prob.C(), prob.N()
-	grad := opt.NewMatrix(c, n)
-	consensus := opt.NewMatrix(c, n)
+	grads := make([][][]float64, chunks)
+	conses := make([][][]float64, chunks)
+	for ch := range grads {
+		grads[ch] = opt.NewMatrix(c, n)
+		conses[ch] = opt.NewMatrix(c, n)
+	}
+	avg := opt.NewMatrix(c, n)
+	moved := make([]float64, nAgents)
+	uw := make([]float64, nAgents) // hoisted uniform-mean weights, reused every iteration
 	next := make([][][]float64, nAgents)
 	for i := range next {
 		next[i] = opt.NewMatrix(c, n)
@@ -221,24 +257,34 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 		for i := range agents {
 			mats[i] = agents[i].estimate
 		}
-		maxMove := 0.0
-		for i := range agents {
-			// Consensus step V^i (Eq. 3). Complete topology: the general
-			// weighted average Σ_j a_j P^j (with uniform weights every
-			// agent computes the same average). Ring topology: the
-			// ¼/½/¼ neighbor average, whose weight matrix is doubly
-			// stochastic over the ring graph.
-			s.consensusFor(i, weights, mats, consensus)
-			// Gradient step on the local objective.
-			LocalGradient(prob, i, consensus, grad)
-			opt.Copy(next[i], consensus)
-			opt.AXPY(next[i], -step(k), grad)
-			// Project onto the local constraint set.
-			if err := projections[i](next[i]); err != nil {
-				return nil, err
+		d := step(k)
+		if err := par.ForErr(nAgents, func(chunk, lo, hi int) error {
+			grad, consensus := grads[chunk], conses[chunk]
+			for i := lo; i < hi; i++ {
+				// Consensus step V^i (Eq. 3). Complete topology: the general
+				// weighted average Σ_j a_j P^j (with uniform weights every
+				// agent computes the same average). Ring topology: the
+				// ¼/½/¼ neighbor average, whose weight matrix is doubly
+				// stochastic over the ring graph.
+				s.consensusFor(i, weights, mats, consensus)
+				// Gradient step on the local objective.
+				LocalGradient(prob, i, consensus, grad)
+				opt.Copy(next[i], consensus)
+				opt.AXPY(next[i], -d, grad)
+				// Project onto the local constraint set.
+				if err := projections[i](next[i]); err != nil {
+					return err
+				}
+				moved[i] = opt.Dist(next[i], agents[i].estimate)
 			}
-			if d := opt.Dist(next[i], agents[i].estimate); d > maxMove {
-				maxMove = d
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		maxMove := 0.0
+		for _, m := range moved {
+			if m > maxMove {
+				maxMove = m
 			}
 		}
 		for i := range agents {
@@ -258,8 +304,8 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 
 		// Record the objective of the global average estimate (the common
 		// point the agents are converging to).
-		uniformMean(consensus, mats)
-		res.History = append(res.History, prob.Cost(consensus))
+		uniformMean(avg, uw, mats)
+		res.History = append(res.History, prob.Cost(avg))
 
 		if maxMove <= tol {
 			res.Converged = true
@@ -273,8 +319,8 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 		mats[i] = agents[i].estimate
 	}
 	final := opt.NewMatrix(c, n)
-	uniformMean(final, mats)
-	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
+	uniformMean(final, uw, mats)
+	if err := opt.ProjectFeasiblePar(prob, final, 1e-6, par); err != nil {
 		return nil, fmt.Errorf("cdpsm: final polish: %w", err)
 	}
 	res.Assignment = final
@@ -298,9 +344,9 @@ func (s *Solver) consensusFor(i int, weights []float64, mats [][][]float64, dst 
 }
 
 // uniformMean averages all estimates with equal weight into dst — the
-// common reference point used for history and the final answer.
-func uniformMean(dst [][]float64, mats [][][]float64) {
-	w := make([]float64, len(mats))
+// common reference point used for history and the final answer. w is the
+// caller's reused weights buffer (len(mats)), filled here.
+func uniformMean(dst [][]float64, w []float64, mats [][][]float64) {
 	for i := range w {
 		w[i] = 1 / float64(len(mats))
 	}

@@ -1,0 +1,91 @@
+package cdpsm
+
+import "edr/internal/transport"
+
+// Compact binary codecs (transport binary body v1) for the CDPSM verbs.
+// The estimate exchange is the round's dominant traffic — every step pulls
+// a full |C|×|N| matrix from each peer — so all five bodies speak the
+// binary codec and the small requests carry it too: a reply mirrors its
+// request's codec (transport.NewReply), so a binary EstimateBody is what
+// makes the matrix-bearing EstimateReply come back binary. Per the wire
+// convention, every request body leads with its u32 LE round id.
+
+func (b StepBody) MarshalBinary() ([]byte, error) {
+	out := transport.AppendUint32(nil, uint32(b.Round))
+	out = transport.AppendUint32(out, uint32(b.Iter))
+	return transport.AppendFloat64(out, b.Step), nil
+}
+
+func (b *StepBody) UnmarshalBinary(data []byte) error {
+	round, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	iter, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	step, _, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	b.Round, b.Iter, b.Step = int(round), int(iter), step
+	return nil
+}
+
+func (b StepReply) MarshalBinary() ([]byte, error) {
+	return transport.AppendFloat64(nil, b.Moved), nil
+}
+
+func (b *StepReply) UnmarshalBinary(data []byte) error {
+	moved, _, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	b.Moved = moved
+	return nil
+}
+
+func (b EstimateBody) MarshalBinary() ([]byte, error) {
+	return transport.AppendUint32(nil, uint32(b.Round)), nil
+}
+
+func (b *EstimateBody) UnmarshalBinary(data []byte) error {
+	round, _, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	b.Round = int(round)
+	return nil
+}
+
+func (b EstimateReply) MarshalBinary() ([]byte, error) {
+	return transport.AppendMatrix(nil, b.Estimate), nil
+}
+
+func (b *EstimateReply) UnmarshalBinary(data []byte) error {
+	m, _, err := transport.ReadMatrix(data)
+	if err != nil {
+		return err
+	}
+	b.Estimate = m
+	return nil
+}
+
+func (b CommitBody) MarshalBinary() ([]byte, error) {
+	out := transport.AppendUint32(nil, uint32(b.Round))
+	return transport.AppendUint32(out, uint32(b.Iter)), nil
+}
+
+func (b *CommitBody) UnmarshalBinary(data []byte) error {
+	round, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	iter, _, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	b.Round, b.Iter = int(round), int(iter)
+	return nil
+}

@@ -160,7 +160,7 @@ func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, 
 		return nil, err
 	}
 	opt.Scale(sum, 1/float64(nReplicas))
-	if err := opt.ProjectFeasible(a.rd.Prob, sum, 1e-6); err != nil {
+	if err := opt.ProjectFeasiblePar(a.rd.Prob, sum, 1e-6, a.rd.Par); err != nil {
 		return nil, fmt.Errorf("cdpsm: final polish: %w", err)
 	}
 	return sum, nil
@@ -291,7 +291,7 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 	LocalGradient(sr.Prob, sr.Col, consensus, grad)
 	next := opt.Clone(consensus)
 	opt.AXPY(next, -body.Step, grad)
-	if err := LocalProjection(sr.Prob, sr.Col, 60)(next); err != nil {
+	if err := LocalProjectionPar(sr.Prob, sr.Col, 60, sr.Par)(next); err != nil {
 		return StepReply{}, err
 	}
 

@@ -78,7 +78,7 @@ func (c *Client) handleMuUpdate(req transport.Message) (transport.Message, error
 	c.mus[key] = mu
 	c.mu.Unlock()
 	c.Stats.MuUpdates.Inc(1)
-	return transport.NewMessage(MsgMuUpdate+".ack", c.Addr(), MuUpdateReply{Mu: mu})
+	return transport.NewReply(req, MsgMuUpdate+".ack", c.Addr(), MuUpdateReply{Mu: mu})
 }
 
 // handleAllocation records the round outcome for WaitAllocation.

@@ -80,6 +80,17 @@ type ReplicaConfig struct {
 	// RetryBase is the backoff before the first RPC retry; it doubles per
 	// attempt with ±50% jitter. 0 means 50ms.
 	RetryBase time.Duration
+	// Parallelism fans this node's solver kernels (local projections,
+	// recovery polish) across cores: > 0 pins the worker count, 0 sizes
+	// the pool from GOMAXPROCS, -1 forces serial execution. Parallel and
+	// serial rounds compute bit-identical results.
+	Parallelism int
+	// WireJSON forces JSON bodies for every RPC this node initiates,
+	// disabling the compact binary codec on the wire. Peers always mirror
+	// a request's codec in their replies, so a JSON-only node
+	// interoperates with binary-capable peers either way; the knob exists
+	// for wire compatibility with pre-codec builds and for debugging.
+	WireJSON bool
 	// Telemetry, when non-nil, receives runtime events (round outcomes,
 	// RPC retries, ring suspicion — see internal/telemetry). Nil disables
 	// observability at zero cost: every would-be publish is a single nil

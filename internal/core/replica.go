@@ -31,6 +31,7 @@ type ReplicaServer struct {
 	lastGood   *lastGoodRound // fallback assignment for degraded rounds
 	lastReport *RoundReport   // most recent completed round (admin /status)
 	pool       *opt.Pool      // recycles initiator-side round scratch
+	par        *opt.Parallel  // fans solver kernels across cores (nil = serial)
 
 	// Stats are exported runtime counters.
 	Stats ReplicaStats
@@ -80,6 +81,7 @@ func NewReplicaServer(network transport.Network, addr string, members []string, 
 		rounds:  make(map[int]*roundState),
 		pool:    &opt.Pool{},
 	}
+	r.par = opt.NewParallel(r.cfg.Parallelism)
 	if _, ok := engine.Lookup(string(r.cfg.Algorithm)); !ok {
 		return nil, fmt.Errorf("core: unknown algorithm %q", r.cfg.Algorithm)
 	}
@@ -205,15 +207,15 @@ func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (tran
 
 // handleEngine dispatches an algorithm verb to its registered server
 // half. Every algorithm body carries the round id, which locates the
-// participant state the server half operates on.
+// participant state the server half operates on. The reply mirrors the
+// request's codec (transport.NewReply), so JSON-only initiators keep
+// interoperating with binary-capable participants.
 func (r *ReplicaServer) handleEngine(ctx context.Context, reg *engine.Registration, req transport.Message) (transport.Message, error) {
-	var hdr struct {
-		Round int `json:"round"`
-	}
-	if err := req.DecodeBody(&hdr); err != nil {
+	round, err := engineRound(req)
+	if err != nil {
 		return transport.Message{}, err
 	}
-	st, err := r.lookupRound(hdr.Round)
+	st, err := r.lookupRound(round)
 	if err != nil {
 		return transport.Message{}, err
 	}
@@ -221,7 +223,33 @@ func (r *ReplicaServer) handleEngine(ctx context.Context, reg *engine.Registrati
 	if err != nil {
 		return transport.Message{}, err
 	}
-	return transport.NewMessage(req.Type+".ack", r.Addr(), body)
+	return transport.NewReply(req, req.Type+".ack", r.Addr(), body)
+}
+
+// engineRound extracts the round id an algorithm request body carries:
+// binary bodies lead with it by wire convention (no full decode needed),
+// JSON bodies name it "round".
+func engineRound(req transport.Message) (int, error) {
+	if len(req.Bin) > 0 {
+		return transport.BinaryRound(req)
+	}
+	var hdr struct {
+		Round int `json:"round"`
+	}
+	if err := req.DecodeBody(&hdr); err != nil {
+		return 0, err
+	}
+	return hdr.Round, nil
+}
+
+// newMessage builds an outgoing message, honoring the WireJSON knob: by
+// default bodies that support it ship the compact binary codec; WireJSON
+// pins everything this node initiates to JSON.
+func (r *ReplicaServer) newMessage(msgType string, v any) (transport.Message, error) {
+	if r.cfg.WireJSON {
+		return transport.NewJSONMessage(msgType, r.Addr(), v)
+	}
+	return transport.NewMessage(msgType, r.Addr(), v)
 }
 
 // peerSender is the fabric handle an algorithm's server half uses to reach
@@ -230,7 +258,7 @@ func (r *ReplicaServer) handleEngine(ctx context.Context, reg *engine.Registrati
 type peerSender struct{ r *ReplicaServer }
 
 func (p peerSender) Send(ctx context.Context, to, verb string, body any) (engine.Reply, error) {
-	req, err := transport.NewMessage(verb, p.r.Addr(), body)
+	req, err := p.r.newMessage(verb, body)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +374,7 @@ func (r *ReplicaServer) handleRoundStart(req transport.Message) (transport.Messa
 		Self:         r.Addr(),
 		ReplicaAddrs: replicaAddrs,
 		Peers:        peerSender{r},
+		Par:          r.par,
 	}}
 	r.mu.Lock()
 	r.rounds[spec.Round] = st

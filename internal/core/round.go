@@ -87,7 +87,7 @@ func (e *failedMemberError) Unwrap() error { return e.err }
 
 // send performs one coordination RPC attempt with the configured timeout.
 func (r *ReplicaServer) send(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
-	req, err := transport.NewMessage(msgType, r.Addr(), body)
+	req, err := r.newMessage(msgType, body)
 	if err != nil {
 		return transport.Message{}, err
 	}
@@ -545,6 +545,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		MaxIters:     r.cfg.MaxIters,
 		Tol:          r.cfg.Tol,
 		Pool:         r.pool,
+		Par:          r.par,
 	}
 	assignment, iterations, err := driver.Run(ctx, reg.New(), rd)
 	if err != nil {

@@ -1,0 +1,54 @@
+package engine
+
+import "edr/internal/transport"
+
+// Compact binary codecs (transport binary body v1) for the engine-level
+// multiplier-update verb: five scalars out, one back, sent once per
+// client per iteration. The request body leads with the u32 LE round id
+// per the wire convention.
+
+func (b MuUpdateBody) MarshalBinary() ([]byte, error) {
+	out := transport.AppendUint32(nil, uint32(b.Round))
+	out = transport.AppendUint32(out, uint32(b.Iter))
+	out = transport.AppendFloat64(out, b.ServedMB)
+	out = transport.AppendFloat64(out, b.DemandMB)
+	return transport.AppendFloat64(out, b.Step), nil
+}
+
+func (b *MuUpdateBody) UnmarshalBinary(data []byte) error {
+	round, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	iter, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	served, data, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	demand, data, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	step, _, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	b.Round, b.Iter, b.ServedMB, b.DemandMB, b.Step = int(round), int(iter), served, demand, step
+	return nil
+}
+
+func (b MuUpdateReply) MarshalBinary() ([]byte, error) {
+	return transport.AppendFloat64(nil, b.Mu), nil
+}
+
+func (b *MuUpdateReply) UnmarshalBinary(data []byte) error {
+	mu, _, err := transport.ReadFloat64(data)
+	if err != nil {
+		return err
+	}
+	b.Mu = mu
+	return nil
+}

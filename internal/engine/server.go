@@ -31,6 +31,9 @@ type ServerRound struct {
 	ReplicaAddrs []string
 	// Peers reaches the other replicas of the round.
 	Peers PeerSender
+	// Par fans this replica's solver kernels (local projections) across
+	// cores; nil runs them serially.
+	Par *opt.Parallel
 
 	mu     sync.Mutex
 	states map[string]any

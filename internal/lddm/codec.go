@@ -1,0 +1,44 @@
+package lddm
+
+import "edr/internal/transport"
+
+// Compact binary codecs (transport binary body v1) for the LDDM verbs:
+// the multiplier vector out, the primal column back — |C| float64s each
+// way per replica per iteration. Request bodies lead with the u32 LE
+// round id per the wire convention.
+
+func (b SolveBody) MarshalBinary() ([]byte, error) {
+	out := transport.AppendUint32(nil, uint32(b.Round))
+	out = transport.AppendUint32(out, uint32(b.Iter))
+	return transport.AppendFloats(out, b.Mu), nil
+}
+
+func (b *SolveBody) UnmarshalBinary(data []byte) error {
+	round, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	iter, data, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	mu, _, err := transport.ReadFloats(data)
+	if err != nil {
+		return err
+	}
+	b.Round, b.Iter, b.Mu = int(round), int(iter), mu
+	return nil
+}
+
+func (b SolveReply) MarshalBinary() ([]byte, error) {
+	return transport.AppendFloats(nil, b.Column), nil
+}
+
+func (b *SolveReply) UnmarshalBinary(data []byte) error {
+	col, _, err := transport.ReadFloats(data)
+	if err != nil {
+		return err
+	}
+	b.Column = col
+	return nil
+}

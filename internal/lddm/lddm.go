@@ -39,6 +39,11 @@ type Solver struct {
 	// only like burn-in/k, so the average restarts at powers of two
 	// ("doubling suffix averaging"), discarding burn-in bias.
 	Tol float64
+	// Parallelism fans the per-replica local solves (disjoint primal
+	// columns) and the recovery projections across cores: > 0 pins the
+	// worker count, 0 sizes from GOMAXPROCS, < 0 forces serial. Parallel
+	// and serial runs are bit-identical.
+	Parallelism int
 }
 
 // New returns an LDDM solver with the defaults above.
@@ -139,6 +144,9 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 
 	c, n := prob.C(), prob.N()
 	mask := prob.Allowed()
+	// Per-replica local solves write disjoint primal columns, so they fan
+	// across cores bit-identically; the gate keeps small instances serial.
+	par := opt.NewParallel(s.Parallelism).Gate(c * n)
 
 	// Clients hold the multipliers; replicas hold their columns.
 	mu := make([]float64, c)
@@ -168,15 +176,21 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	for k := 1; k <= maxIters; k++ {
 		// Each replica solves its local problem given the current μ
 		// (Algorithm 2 line 4) and sends its column to the clients
-		// (line 5).
-		for j := 0; j < n; j++ {
-			col, err := SolveLocal(locals[j])
-			if err != nil {
-				return nil, fmt.Errorf("lddm: replica %d local solve: %w", j, err)
+		// (line 5). SolveLocal reads the shared μ snapshot and writes only
+		// its own primal column.
+		if err := par.ForErr(n, func(_, lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				col, err := SolveLocal(locals[j])
+				if err != nil {
+					return fmt.Errorf("lddm: replica %d local solve: %w", j, err)
+				}
+				for i := 0; i < c; i++ {
+					primal[i][j] = col[i]
+				}
 			}
-			for i := 0; i < c; i++ {
-				primal[i][j] = col[i]
-			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		// Each client updates its multiplier from its served total
 		// (line 6): μ_c += d·(Σ_n p_{c,n} − R_c).
@@ -217,7 +231,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 		// convergence history (Fig 5) reflects comparable feasible costs.
 		if s.FeasibleHistory {
 			repaired := opt.Clone(avg)
-			if err := opt.ProjectFeasible(prob, repaired, 1e-4); err != nil {
+			if err := opt.ProjectFeasiblePar(prob, repaired, 1e-4, par); err != nil {
 				return nil, fmt.Errorf("lddm: history repair at iteration %d: %w", k, err)
 			}
 			res.History = append(res.History, prob.Cost(repaired))
@@ -235,7 +249,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	// feasibility exactly (constant-step dual iterates are near- but not
 	// exactly feasible).
 	final := opt.Clone(avg)
-	if err := opt.ProjectFeasible(prob, final, 1e-6); err != nil {
+	if err := opt.ProjectFeasiblePar(prob, final, 1e-6, par); err != nil {
 		return nil, fmt.Errorf("lddm: primal recovery: %w", err)
 	}
 	res.Assignment = final

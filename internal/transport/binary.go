@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Compact binary body codec, version 1. The engine's matrix-bearing wire
+// verbs dominate a round's bytes — every CDPSM iteration ships full
+// |C|×|N| float64 matrices, paid at JSON-text prices (~19 bytes per
+// element) under the original codec. Bodies that implement
+// encoding.BinaryMarshaler/BinaryUnmarshaler are instead carried as raw
+// little-endian scalars with u32 dims headers (8 bytes per element, no
+// reflection), assembled from the primitives below.
+//
+// Wire format: the 4-byte frame length prefix keeps its meaning, but a
+// set top bit flags a binary envelope (JSON payloads can never set it —
+// MaxFrameBytes < 2³¹):
+//
+//	[u32 BE  len | binFlag]
+//	[u8      version (=1)]
+//	[u16 BE  len(Type)] [Type]
+//	[u16 BE  len(From)] [From]
+//	[body bytes]
+//
+// Codec negotiation is per message: a node sends binary whenever the body
+// type supports it, and replies always mirror the request's codec
+// (NewReply), so a JSON-only peer keeps interoperating — its JSON
+// requests get JSON replies, and DecodeBody accepts either direction.
+// Body convention: every engine *request* body starts with its u32 LE
+// round id, so the replica dispatcher can route a binary body without
+// decoding it.
+const (
+	// binFlag marks a binary envelope in the frame length prefix.
+	binFlag = 1 << 31
+	// BinaryVersion is the envelope version emitted and accepted.
+	BinaryVersion = 1
+)
+
+// writeBinaryFrame emits the binary envelope for a message carrying Bin.
+func writeBinaryFrame(w io.Writer, m Message) error {
+	if len(m.Type) > math.MaxUint16 || len(m.From) > math.MaxUint16 {
+		return fmt.Errorf("transport: binary frame type/from too long (%d/%d)", len(m.Type), len(m.From))
+	}
+	n := 1 + 2 + len(m.Type) + 2 + len(m.From) + len(m.Bin)
+	if n > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	buf := make([]byte, 4, 4+n)
+	binary.BigEndian.PutUint32(buf, uint32(n)|binFlag)
+	buf = append(buf, BinaryVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Type)))
+	buf = append(buf, m.Type...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.From)))
+	buf = append(buf, m.From...)
+	buf = append(buf, m.Bin...)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("transport: write binary frame: %w", err)
+	}
+	return nil
+}
+
+// decodeBinaryFrame parses the payload of a binary envelope (after the
+// length prefix).
+func decodeBinaryFrame(payload []byte) (Message, error) {
+	if len(payload) < 1 {
+		return Message{}, fmt.Errorf("transport: empty binary frame")
+	}
+	if v := payload[0]; v != BinaryVersion {
+		return Message{}, fmt.Errorf("transport: binary frame version %d, want %d", v, BinaryVersion)
+	}
+	rest := payload[1:]
+	readStr := func() (string, error) {
+		if len(rest) < 2 {
+			return "", fmt.Errorf("transport: truncated binary frame header")
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return "", fmt.Errorf("transport: binary frame header claims %d bytes, %d left", n, len(rest))
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	var m Message
+	var err error
+	if m.Type, err = readStr(); err != nil {
+		return Message{}, err
+	}
+	if m.From, err = readStr(); err != nil {
+		return Message{}, err
+	}
+	if len(rest) > 0 {
+		m.Bin = append([]byte(nil), rest...)
+	}
+	return m, nil
+}
+
+// --- Body primitives ----------------------------------------------------
+//
+// The Append*/Read* pairs below are the vocabulary algorithm packages
+// build their MarshalBinary/UnmarshalBinary from. All scalars are
+// little-endian; vectors and matrices carry u32 dims headers.
+
+// AppendUint32 appends v little-endian.
+func AppendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendFloat64 appends v's IEEE-754 bits little-endian.
+func AppendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendFloats appends a u32 length header followed by the values.
+func AppendFloats(b []byte, v []float64) []byte {
+	b = AppendUint32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendFloat64(b, x)
+	}
+	return b
+}
+
+// AppendMatrix appends u32 rows, u32 cols, then the values row-major.
+// Rows must share one length (the module's dense client×replica layout).
+func AppendMatrix(b []byte, m [][]float64) []byte {
+	cols := 0
+	if len(m) > 0 {
+		cols = len(m[0])
+	}
+	b = AppendUint32(b, uint32(len(m)))
+	b = AppendUint32(b, uint32(cols))
+	for _, row := range m {
+		for _, x := range row {
+			b = AppendFloat64(b, x)
+		}
+	}
+	return b
+}
+
+// ReadUint32 consumes a little-endian u32.
+func ReadUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("transport: binary body truncated (want u32, %d bytes left)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+// ReadFloat64 consumes a little-endian float64.
+func ReadFloat64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("transport: binary body truncated (want f64, %d bytes left)", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// ReadFloats consumes a length-headed vector written by AppendFloats.
+func ReadFloats(b []byte) ([]float64, []byte, error) {
+	n, b, err := ReadUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n)*8 > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("transport: binary vector claims %d values, %d bytes left", n, len(b))
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i], b, _ = ReadFloat64(b)
+	}
+	return v, b, nil
+}
+
+// ReadMatrix consumes a dims-headed matrix written by AppendMatrix.
+func ReadMatrix(b []byte) ([][]float64, []byte, error) {
+	rows, b, err := ReadUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols, b, err := ReadUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(rows)*uint64(cols)*8 > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("transport: binary matrix claims %d×%d values, %d bytes left", rows, cols, len(b))
+	}
+	// A zero-column claim slips past the payload bound above (the product
+	// is 0) but would still allocate one row header per claimed row.
+	if rows != 0 && cols == 0 {
+		return nil, nil, fmt.Errorf("transport: binary matrix claims %d rows of zero columns", rows)
+	}
+	backing := make([]float64, int(rows)*int(cols))
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+		for j := range m[i] {
+			m[i][j], b, _ = ReadFloat64(b)
+		}
+	}
+	return m, b, nil
+}
+
+// BinaryRound reads the u32 LE round id every binary engine request body
+// leads with, letting dispatchers route without a full decode.
+func BinaryRound(m Message) (int, error) {
+	if len(m.Bin) < 4 {
+		return 0, fmt.Errorf("transport: %s binary body too short for a round header", m.Type)
+	}
+	return int(binary.LittleEndian.Uint32(m.Bin)), nil
+}

@@ -108,13 +108,13 @@ func (nd *instrumentedNode) Close() error { return nd.inner.Close() }
 func (nd *instrumentedNode) Send(ctx context.Context, to string, req Message) (Message, error) {
 	lc := nd.net.link(to, req.Type)
 	lc.messages.Inc(1)
-	lc.bytesTx.Inc(int64(len(req.Body)))
+	lc.bytesTx.Inc(int64(req.BodyLen()))
 	resp, err := nd.inner.Send(ctx, to, req)
 	if err != nil {
 		lc.errors.Inc(1)
 		nd.net.bus.Publish(telemetry.MessageDropped{Peer: to, Verb: req.Type, Err: err.Error()})
 		return resp, err
 	}
-	lc.bytesRx.Inc(int64(len(resp.Body)))
+	lc.bytesRx.Inc(int64(resp.BodyLen()))
 	return resp, nil
 }

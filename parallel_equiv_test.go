@@ -1,0 +1,82 @@
+package edr_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"edr/internal/admm"
+	"edr/internal/cdpsm"
+	"edr/internal/lddm"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+// The parallel kernels' determinism contract: every fanned-out unit
+// writes disjoint state and computes exactly what the serial loop would,
+// so a parallel solve must be bit-for-bit identical to the serial one —
+// same assignment, same objective, same history, same iteration count.
+// The instance is paper scale (C=100, N=10) so it clears the work gates
+// and the parallel paths actually run.
+func TestParallelSolversMatchSerialBitForBit(t *testing.T) {
+	prob, err := probgen.MustFeasible(sim.NewRand(2026), probgen.Spec{
+		Clients: 100, Replicas: 10, Geo: true, DemandLo: 1, DemandHi: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mk   func(parallelism int) solver.Solver
+	}{
+		{"CDPSM", func(p int) solver.Solver {
+			s := cdpsm.New()
+			s.MaxIters = 8
+			s.Parallelism = p
+			return s
+		}},
+		{"LDDM", func(p int) solver.Solver {
+			s := lddm.New()
+			s.MaxIters = 60
+			s.Parallelism = p
+			return s
+		}},
+		{"ADMM", func(p int) solver.Solver {
+			s := admm.New()
+			s.MaxIters = 25
+			s.Parallelism = p
+			return s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := tc.mk(-1).Solve(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := tc.mk(8).Solve(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b1, b2 := math.Float64bits(serial.Objective), math.Float64bits(parallel.Objective); b1 != b2 {
+				t.Fatalf("objective differs: serial %x (%g) parallel %x (%g)",
+					b1, serial.Objective, b2, parallel.Objective)
+			}
+			if !reflect.DeepEqual(serial.Assignment, parallel.Assignment) {
+				for i := range serial.Assignment {
+					for j := range serial.Assignment[i] {
+						if serial.Assignment[i][j] != parallel.Assignment[i][j] {
+							t.Fatalf("assignment[%d][%d]: serial %g parallel %g",
+								i, j, serial.Assignment[i][j], parallel.Assignment[i][j])
+						}
+					}
+				}
+				t.Fatal("assignments differ in shape")
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("results differ beyond assignment/objective:\nserial   %+v\nparallel %+v", serial, parallel)
+			}
+		})
+	}
+}
