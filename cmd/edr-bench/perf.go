@@ -58,8 +58,11 @@ type wirePerf struct {
 
 // runPerf benchmarks the round hot path (solver kernels serial vs
 // parallel, estimate-frame wire cost) and writes BENCH_round.json into
-// outDir (cwd when empty).
-func runPerf(outDir string, seed uint64) error {
+// outDir (cwd when empty). When baseline names a committed report, the
+// fresh numbers are diffed against it and a gross regression fails the
+// run — the threshold is deliberately lenient (see diffBaseline) because
+// CI runners vary wildly in absolute speed.
+func runPerf(outDir string, seed uint64, baseline string) error {
 	const clients, replicas = 100, 10
 	prob, err := probgen.MustFeasible(sim.NewRand(seed), probgen.Spec{
 		Clients: clients, Replicas: replicas, Geo: true, DemandLo: 1, DemandHi: 6,
@@ -155,6 +158,62 @@ func runPerf(outDir string, seed uint64) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if baseline != "" {
+		return diffBaseline(&report, baseline)
+	}
+	return nil
+}
+
+// diffBaseline compares a fresh perf report against a committed one and
+// errors on gross regressions only: ≥5x slower per solver kernel or a
+// wire frame ≥2x fatter. Absolute ns/op differs across machines, so the
+// gate is a tripwire for accidental algorithmic blowups (an O(n) kernel
+// going quadratic, a codec falling back to JSON), not a micro-benchmark.
+func diffBaseline(fresh *perfReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perf baseline: %w", err)
+	}
+	var base perfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("perf baseline %s: %w", path, err)
+	}
+	if base.Schema != fresh.Schema {
+		fmt.Printf("perf baseline %s has schema %q (current %q) — skipping diff\n", path, base.Schema, fresh.Schema)
+		return nil
+	}
+	const slowdownLimit, wireLimit = 5.0, 2.0
+	baseBy := make(map[string]solverPerf, len(base.Solvers))
+	for _, sp := range base.Solvers {
+		baseBy[sp.Algorithm] = sp
+	}
+	var regressions []string
+	for _, sp := range fresh.Solvers {
+		bp, ok := baseBy[sp.Algorithm]
+		if !ok {
+			continue
+		}
+		check := func(kind string, now, was int64) {
+			if was > 0 && float64(now) > slowdownLimit*float64(was) {
+				regressions = append(regressions, fmt.Sprintf("%s %s %.1fx slower (%d ns/op vs baseline %d)",
+					sp.Algorithm, kind, float64(now)/float64(was), now, was))
+			}
+		}
+		check("serial", sp.SerialNsPerOp, bp.SerialNsPerOp)
+		check("parallel", sp.ParallelNsPerOp, bp.ParallelNsPerOp)
+	}
+	if was := base.Wire.BinaryFrameBytes; was > 0 &&
+		float64(fresh.Wire.BinaryFrameBytes) > wireLimit*float64(was) {
+		regressions = append(regressions, fmt.Sprintf("binary estimate frame %.1fx fatter (%d B vs baseline %d)",
+			float64(fresh.Wire.BinaryFrameBytes)/float64(was), fresh.Wire.BinaryFrameBytes, was))
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "perf regression: %s\n", r)
+		}
+		return fmt.Errorf("perf: %d regression(s) against baseline %s", len(regressions), path)
+	}
+	fmt.Printf("perf baseline %s: no regressions (limits: %gx kernel, %gx wire)\n", path, slowdownLimit, wireLimit)
 	return nil
 }
 

@@ -9,6 +9,15 @@
 // instead of submitting demand:
 //
 //	edrctl status -admin 127.0.0.1:9090
+//
+// The membership subcommands propose live reconfigurations through any
+// reachable fleet member (the contact coordinates the epoch change and
+// disseminates it):
+//
+//	edrctl join    -replica 127.0.0.1:7001 -addr 127.0.0.1:7004
+//	edrctl drain   -replica 127.0.0.1:7001 -addr 127.0.0.1:7003
+//	edrctl undrain -replica 127.0.0.1:7001 -addr 127.0.0.1:7003
+//	edrctl remove  -replica 127.0.0.1:7001 -addr 127.0.0.1:7003
 package main
 
 import (
@@ -22,23 +31,83 @@ import (
 	"time"
 
 	"edr/internal/core"
+	"edr/internal/membership"
 	"edr/internal/transport"
 )
 
 func main() {
-	// All work happens in run/runStatus, which return errors instead of
-	// calling log.Fatal: a Fatal after the client or response body is open
-	// would skip the deferred Close.
+	// All work happens in run/runStatus/runMembership, which return errors
+	// instead of calling log.Fatal: a Fatal after the client or response
+	// body is open would skip the deferred Close.
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "status" {
+	sub := ""
+	if len(os.Args) > 1 {
+		sub = os.Args[1]
+	}
+	switch sub {
+	case "status":
 		err = runStatus(os.Args[2:])
-	} else {
+	case "join":
+		err = runMembership(membership.OpJoin, os.Args[2:])
+	case "drain":
+		err = runMembership(membership.OpDrain, os.Args[2:])
+	case "undrain":
+		err = runMembership(membership.OpUndrain, os.Args[2:])
+	case "remove":
+		err = runMembership(membership.OpRemove, os.Args[2:])
+	default:
 		err = run(os.Args[1:])
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edrctl:", err)
 		os.Exit(1)
 	}
+}
+
+// runMembership sends one membership proposal to a contact replica, which
+// coordinates the epoch change fleet-wide and returns the committed epoch.
+func runMembership(op membership.Op, args []string) error {
+	fs := flag.NewFlagSet("edrctl "+string(op), flag.ExitOnError)
+	var (
+		replica = fs.String("replica", "127.0.0.1:7001", "contact replica coordinating the change (any live member)")
+		addr    = fs.String("addr", "", "member address the operation applies to")
+		listen  = fs.String("listen", "127.0.0.1:0", "local bind address")
+		timeout = fs.Duration("timeout", 10*time.Second, "overall deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("%s: -addr is required", op)
+	}
+	node, err := transport.NewTCPNetwork().Listen(*listen, func(ctx context.Context, m transport.Message) (transport.Message, error) {
+		return transport.Message{}, fmt.Errorf("edrctl: unexpected message %q", m.Type)
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	req, err := transport.NewMessage(membership.ProposeType, node.Name(), membership.ProposeBody{Op: op, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	resp, err := node.Send(ctx, *replica, req)
+	if err != nil {
+		return err
+	}
+	var reply membership.ProposeReply
+	if err := resp.DecodeBody(&reply); err != nil {
+		return err
+	}
+	e := reply.Epoch
+	fmt.Printf("epoch %d committed: %d members, active [%s]", e.Seq, len(e.Members), strings.Join(e.Active(), " "))
+	if len(e.Drained) > 0 {
+		fmt.Printf(", drained [%s]", strings.Join(e.Drained, " "))
+	}
+	fmt.Println()
+	return nil
 }
 
 func run(args []string) error {
@@ -147,6 +216,10 @@ func runStatus(args []string) error {
 func printStatus(w *os.File, st *core.Status) {
 	fmt.Fprintf(w, "replica   %s (%s)\n", st.Addr, st.Algorithm)
 	fmt.Fprintf(w, "ring      %s\n", strings.Join(st.Ring, " -> "))
+	fmt.Fprintf(w, "epoch     %d\n", st.Epoch)
+	if len(st.Drained) > 0 {
+		fmt.Fprintf(w, "drained   %s\n", strings.Join(st.Drained, ", "))
+	}
 	if st.Suspect != "" {
 		fmt.Fprintf(w, "suspect   %s (%d missed heartbeats)\n", st.Suspect, st.SuspectMisses)
 	}
@@ -160,6 +233,9 @@ func printStatus(w *os.File, st *core.Status) {
 	}
 	r := st.LastRound
 	flag := ""
+	if r.WarmStarted {
+		flag = "  warm-started"
+	}
 	if r.Degraded {
 		flag = "  DEGRADED (last-good fallback)"
 	}

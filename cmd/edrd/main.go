@@ -26,6 +26,7 @@ import (
 
 	"edr/internal/core"
 	"edr/internal/engine"
+	"edr/internal/membership"
 	"edr/internal/model"
 	"edr/internal/telemetry"
 	"edr/internal/transport"
@@ -42,6 +43,14 @@ func main() {
 		gamma     = flag.Float64("gamma", model.DefaultGamma, "network-energy degree γ_n")
 		algorithm = flag.String("algorithm", "LDDM", "scheduling algorithm: "+strings.Join(engine.Names(), ", "))
 		window    = flag.Duration("batch-window", 2*time.Second, "how often to run a scheduling round over pending requests")
+		join      = flag.String("join", "", "live fleet member to join through (proposes this node into the cluster epoch at startup)")
+
+		// Energy-aware elasticity (the autoscaler drains the priciest
+		// replica when the fleet idles and powers drained ones back up
+		// under load, with hysteresis; see internal/membership.Policy).
+		autoscale = flag.Bool("autoscale", false, "evaluate the energy-aware scale policy after every round this node initiates")
+		scaleLow  = flag.Float64("scale-low", 0, "utilization floor below which the fleet scales in (0 = default 0.30)")
+		scaleHigh = flag.Float64("scale-high", 0, "utilization ceiling above which the fleet scales out (0 = default 0.75)")
 		admin     = flag.String("admin", "", "admin-plane bind address (e.g. 127.0.0.1:9090); empty disables telemetry at zero cost")
 		roundLog  = flag.Int("round-log", telemetry.DefaultRoundLog, "round reports retained for /debug/rounds")
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "ring heartbeat interval")
@@ -159,15 +168,41 @@ func main() {
 		fmt.Println("edrd: shutting down")
 		cancel()
 	}()
+
+	if *join != "" {
+		epoch, err := server.Membership().JoinVia(ctx, *join)
+		if err != nil {
+			log.Fatalf("edrd: join via %s: %v", *join, err)
+		}
+		log.Printf("edrd: joined epoch %d via %s; ring %s", epoch.Seq, *join, server.Ring().Snapshot())
+	}
+
+	var policy *membership.Policy
+	if *autoscale {
+		policy = &membership.Policy{LowUtil: *scaleLow, HighUtil: *scaleHigh}
+	}
 	server.ServeRounds(ctx, *window,
 		func(report *core.RoundReport) {
-			degraded := ""
+			extra := ""
+			if report.WarmStarted {
+				extra = " (warm-started)"
+			}
 			if report.Degraded {
-				degraded = " DEGRADED (last-good fallback)"
+				extra = " DEGRADED (last-good fallback)"
 			}
 			log.Printf("round %d (%s): %d clients over %d replicas in %d iterations, cost %.2f, restarts %d%s",
 				report.Round, report.Algorithm, len(report.ClientAddrs), len(report.ReplicaAddrs),
-				report.Iterations, report.Objective, report.Restarts, degraded)
+				report.Iterations, report.Objective, report.Restarts, extra)
+			if policy != nil {
+				d, applied, err := server.AutoScale(ctx, policy)
+				switch {
+				case err != nil:
+					log.Printf("autoscale: %s %s failed: %v", d.Action, d.Target, err)
+				case applied:
+					log.Printf("autoscale: %s %s (utilization %.2f, %s); epoch %d",
+						d.Action, d.Target, d.Util, d.Reason, server.Membership().Current().Seq)
+				}
+			}
 		},
 		func(err error) { log.Printf("round failed: %v", err) },
 	)

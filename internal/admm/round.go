@@ -47,6 +47,7 @@ type roundAlg struct {
 	z          [][]float64 // transposed: z[replica][client]
 	targets    [][]float64 // per-replica proximal targets, same layout
 	u          []float64
+	warmU      []float64 // additive dual offset from the previous round
 	share      []float64
 	rowAvg     []float64
 	primal     [][]float64 // client×replica scratch for trajectory costing
@@ -75,6 +76,30 @@ func (a *roundAlg) Init(rd *engine.Round) error {
 		a.demandNorm += rd.Prob.Demands[i] * rd.Prob.Demands[i]
 	}
 	a.demandNorm = math.Sqrt(a.demandNorm)
+	if rd.Warm != nil && len(rd.Warm) == c {
+		// Seed z from the warm-start assignment (transposed layout). The
+		// warm split conserves demand, so the primal residual starts near
+		// zero and the loop spends its iterations on optimality, not on
+		// re-finding feasibility from the origin.
+		for i := 0; i < c; i++ {
+			if len(rd.Warm[i]) != n {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.z[j][i] = rd.Warm[i][j]
+			}
+		}
+	}
+	a.warmU = make([]float64, c) // escapes via Duals; not pool-owned
+	if len(rd.WarmMu) == c {
+		// Warm-start the scaled dual: the clients accumulate μ from zero
+		// every round, so the previous round's final duals enter as an
+		// additive offset on this side. Iteration count in sharing-ADMM is
+		// dominated by the dual climbing to its fixed point — starting it
+		// there is what makes warm rounds converge in a handful of steps.
+		copy(a.warmU, rd.WarmMu)
+		copy(a.u, a.warmU)
+	}
 	a.exchanges = []engine.Exchange{
 		{
 			// Proximal solves (parallel: disjoint z and target rows; rowAvg
@@ -124,7 +149,7 @@ func (a *roundAlg) Init(rd *engine.Round) error {
 				if err := r.Decode(&reply); err != nil {
 					return err
 				}
-				a.u[i] = reply.Mu
+				a.u[i] = a.warmU[i] + reply.Mu
 				return nil
 			},
 		},
@@ -160,6 +185,13 @@ func (a *roundAlg) Converged(k int) (float64, bool) {
 		}
 	}
 	return maxPrimal, maxPrimal <= a.tol*(1+a.demandNorm)
+}
+
+// Duals reports the final scaled dual values (engine.DualReporter) so the
+// next round can warm-start from them. Returned in a non-pooled buffer.
+func (a *roundAlg) Duals() []float64 {
+	copy(a.warmU, a.u)
+	return a.warmU
 }
 
 // Primal exposes the current iterate (transposed into client×replica

@@ -166,6 +166,20 @@ func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, 
 	return sum, nil
 }
 
+// ConsensusWeights returns the doubly-stochastic consensus row for n
+// agents: the uniform weights a_{i,j} = 1/n of Eq. 3 over a complete
+// communication graph. It is computed from the count of estimates
+// actually gathered each step — not a matrix fixed at round setup — so
+// when an epoch changes |N| mid-stream the next round's consensus
+// weights are rebuilt online for the new roster with no extra machinery.
+func ConsensusWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
 // checkShape validates a wire-decoded matrix before it reaches the shape-
 // panicking opt kernels.
 func checkShape(x [][]float64, c, n int) error {
@@ -191,10 +205,17 @@ type serverState struct {
 // serverHalf answers the three CDPSM verbs on a participant replica.
 type serverHalf struct{}
 
-// state fetches (or lazily builds) the round's CDPSM participant state;
-// the initial committed estimate is the uniform start.
+// state fetches (or lazily builds) the round's CDPSM participant state.
+// The initial committed estimate is the round's warm start when the
+// initiator shipped one (an epoch change renormalized the last-known-good
+// split over the new roster) and the uniform start otherwise — every
+// agent seeds from the same point either way, so consensus starts
+// agreeing instead of spending iterations re-converging.
 func state(sr *engine.ServerRound) (*serverState, error) {
 	st, err := sr.State("CDPSM", func() (any, error) {
+		if w := sr.Warm; w != nil && checkShape(w, sr.Prob.C(), sr.Prob.N()) == nil {
+			return &serverState{committed: opt.Clone(w)}, nil
+		}
 		start, err := sr.Prob.UniformStart()
 		if err != nil {
 			return nil, err
@@ -281,11 +302,7 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 	}
 
 	consensus := opt.NewMatrix(c, n)
-	weights := make([]float64, len(estimates))
-	for i := range weights {
-		weights[i] = 1 / float64(len(estimates))
-	}
-	opt.Mean(consensus, weights, estimates...)
+	opt.Mean(consensus, ConsensusWeights(len(estimates)), estimates...)
 
 	grad := opt.NewMatrix(c, n)
 	LocalGradient(sr.Prob, sr.Col, consensus, grad)

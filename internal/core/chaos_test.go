@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"edr/internal/membership"
 	"edr/internal/model"
 	"edr/internal/opt"
 	"edr/internal/transport"
@@ -454,5 +455,121 @@ func TestConfigSentinels(t *testing.T) {
 	kept := (&ReplicaConfig{RoundRetries: 5, MaxIters: 80, SendRetries: 1}).withDefaults()
 	if kept.RoundRetries != 5 || kept.MaxIters != 80 || kept.SendRetries != 1 {
 		t.Fatalf("explicit values not preserved: %+v", kept)
+	}
+}
+
+// TestChaosSoakWithChurn layers membership churn on the chaos soak: under
+// the same 2% per-link loss and latency jitter, a replica drains mid-soak
+// (planned power-down), survives a full partition while drained without
+// ever being declared dead, and is powered back up — rounds keep
+// completing with demand fully conserved throughout.
+func TestChaosSoakWithChurn(t *testing.T) {
+	f := newChaosFleet(t, []float64{1, 3, 5, 7, 9}, 2, 0xC0FFEE, func(cfg *ReplicaConfig) {
+		cfg.Algorithm = CDPSM
+		cfg.MaxIters = 40
+		cfg.RPCTimeout = 40 * time.Millisecond
+		cfg.SendRetries = 4
+		cfg.RetryBase = 2 * time.Millisecond
+		cfg.RoundRetries = -1
+	})
+	demands := map[string]float64{"c1": 30, "c2": 20}
+	f.net.SetDefault(transport.Faults{Drop: 0.02, Jitter: 200 * time.Microsecond})
+
+	initiator := f.replicas[0]
+	// propose retries a membership change until it commits: on a lossy
+	// fabric a dissemination can miss quorum, and re-proposing the same
+	// logical change is idempotent by design.
+	propose := func(op membership.Op, addr string) {
+		t.Helper()
+		var err error
+		for attempt := 0; attempt < 8; attempt++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_, err = initiator.Membership().ProposeChange(ctx, op, addr)
+			cancel()
+			if err == nil {
+				return
+			}
+		}
+		t.Fatalf("%s of %s never committed: %v", op, addr, err)
+	}
+
+	runRound := func(round int) *RoundReport {
+		t.Helper()
+		for _, cl := range f.clients {
+			f.submit(t, cl, demands[cl.Addr()])
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		report, err := initiator.RunRound(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d failed outright under churn: %v", round, err)
+		}
+		rows := opt.RowSums(report.Assignment)
+		for i, addr := range report.ClientAddrs {
+			if math.Abs(rows[i]-demands[addr]) > 0.2 {
+				t.Fatalf("round %d: client %s served %g, want %g", round, addr, rows[i], demands[addr])
+			}
+		}
+		return report
+	}
+	rosterHas := func(report *RoundReport, addr string) bool {
+		for _, a := range report.ReplicaAddrs {
+			if a == addr {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rounds 1-2: the full fleet schedules under background loss.
+	for round := 1; round <= 2; round++ {
+		runRound(round)
+		f.beatAll()
+	}
+
+	// Planned power-down of r4 mid-soak, then cut it off entirely. A
+	// powered-down replica stops heartbeating, so only the active members
+	// beat — and a drained member must survive a partition well past the
+	// suspicion threshold without anyone declaring it dead.
+	propose(membership.OpDrain, "r4")
+	f.net.Partition([]string{"r4"}, []string{"r1", "r2", "r3", "r5"})
+	beatActive := func() {
+		for _, rs := range f.replicas {
+			if rs.Addr() == "r4" {
+				continue
+			}
+			rs.Monitor().Beat()
+		}
+	}
+	for round := 3; round <= 4; round++ {
+		report := runRound(round)
+		if rosterHas(report, "r4") {
+			t.Fatalf("round %d scheduled the drained replica: %v", round, report.ReplicaAddrs)
+		}
+		beatActive()
+		beatActive() // four beats across the partition: past the threshold
+	}
+	if got := f.deathList(); len(got) != 0 {
+		t.Fatalf("drained member declared dead under partition: %v", got)
+	}
+
+	// Power r4 back up: heal the link, undrain, and it rejoins the roster.
+	f.net.Heal()
+	propose(membership.OpUndrain, "r4")
+	report := runRound(5)
+	if !rosterHas(report, "r4") {
+		t.Fatalf("round 5 roster missing the undrained replica: %v", report.ReplicaAddrs)
+	}
+	f.beatAll()
+
+	// The churn cost nothing in membership terms: zero deaths fleet-wide
+	// and every ring still holds all five members.
+	if got := f.deathList(); len(got) != 0 {
+		t.Fatalf("false member deaths under churn: %v", got)
+	}
+	for _, rs := range f.replicas {
+		if rs.Ring().Len() != len(f.names) {
+			t.Fatalf("%s ring shrank to %d under churn", rs.Addr(), rs.Ring().Len())
+		}
 	}
 }

@@ -85,6 +85,14 @@ type ReplicaConfig struct {
 	// the pool from GOMAXPROCS, -1 forces serial execution. Parallel and
 	// serial rounds compute bit-identical results.
 	Parallelism int
+	// ColdStart disables warm-started rounds: by default a round whose
+	// initiator holds a last-known-good assignment starts the solvers
+	// from that split renormalized over the current roster
+	// (opt.Renormalize), which after an epoch change (join, drain,
+	// departure) converges in far fewer iterations than the cold uniform
+	// start. Set ColdStart to pin every round to the cold start — for
+	// A/B measurement or bit-exact reproduction of the paper's runs.
+	ColdStart bool
 	// WireJSON forces JSON bodies for every RPC this node initiates,
 	// disabling the compact binary codec on the wire. Peers always mirror
 	// a request's codec in their replies, so a JSON-only node

@@ -114,6 +114,12 @@ type RoundSpec struct {
 	LatencySec [][]float64 `json:"latency_sec"`
 	// MaxLatencySec is T.
 	MaxLatencySec float64 `json:"max_latency_sec"`
+	// Warm, when present, is the initiator's warm-start assignment
+	// (clients × replicas, same row/column order as the spec): the
+	// last-known-good split renormalized over this round's roster.
+	// Participants seed full-solution estimates from it (CDPSM); the
+	// initiator seeds its own primal iterate (ADMM) from the same matrix.
+	Warm [][]float64 `json:"warm,omitempty"`
 }
 
 // AssignBody installs the final per-replica serving plan.

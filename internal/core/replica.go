@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"edr/internal/engine"
+	"edr/internal/membership"
 	"edr/internal/metrics"
 	"edr/internal/model"
 	"edr/internal/opt"
@@ -19,19 +20,21 @@ import (
 // scheduling rounds over its pending requests, and participates in the
 // ring fault-tolerance protocol.
 type ReplicaServer struct {
-	cfg  ReplicaConfig
-	node transport.Node
-	ring *ring.Ring
-	mon  *ring.Monitor
+	cfg    ReplicaConfig
+	node   transport.Node
+	ring   *ring.Ring
+	mon    *ring.Monitor
+	member *membership.Manager
 
 	mu         sync.Mutex
 	pending    map[string]*RequestBody // keyed by client address, demand aggregated
 	rounds     map[int]*roundState     // participant-side state, keyed by round id
 	roundSeq   int
-	lastGood   *lastGoodRound // fallback assignment for degraded rounds
-	lastReport *RoundReport   // most recent completed round (admin /status)
-	pool       *opt.Pool      // recycles initiator-side round scratch
-	par        *opt.Parallel  // fans solver kernels across cores (nil = serial)
+	lastGood   *lastGoodRound         // fallback assignment for degraded rounds
+	lastReport *RoundReport           // most recent completed round (admin /status)
+	infoCache  map[string]ReplicaInfo // model parameters of every replica ever seen in a round
+	pool       *opt.Pool              // recycles initiator-side round scratch
+	par        *opt.Parallel          // fans solver kernels across cores (nil = serial)
 
 	// Stats are exported runtime counters.
 	Stats ReplicaStats
@@ -57,6 +60,10 @@ type lastGoodRound struct {
 	infos       []ReplicaInfo
 	clientAddrs []string
 	assignment  [][]float64
+	// mus holds the round's final per-client dual values when the
+	// algorithm reported them (engine.DualReporter); the next warm start
+	// seeds the dual from here.
+	mus map[string]float64
 }
 
 // roundState is the participant-side view of one round: the engine's
@@ -76,10 +83,11 @@ func NewReplicaServer(network transport.Network, addr string, members []string, 
 		return nil, err
 	}
 	r := &ReplicaServer{
-		cfg:     cfg.withDefaults(),
-		pending: make(map[string]*RequestBody),
-		rounds:  make(map[int]*roundState),
-		pool:    &opt.Pool{},
+		cfg:       cfg.withDefaults(),
+		pending:   make(map[string]*RequestBody),
+		rounds:    make(map[int]*roundState),
+		infoCache: make(map[string]ReplicaInfo),
+		pool:      &opt.Pool{},
 	}
 	r.par = opt.NewParallel(r.cfg.Parallelism)
 	if _, ok := engine.Lookup(string(r.cfg.Algorithm)); !ok {
@@ -93,11 +101,15 @@ func NewReplicaServer(network transport.Network, addr string, members []string, 
 	all := append([]string{}, members...)
 	all = append(all, node.Name())
 	r.ring = ring.New(all)
+	r.ring.Bus = r.cfg.Telemetry
+	r.member = membership.NewManager(node.Name(), r.ring, node, r.cfg.Telemetry)
+	r.member.Timeout = r.cfg.RPCTimeout
 	r.mon = &ring.Monitor{
-		Self: node.Name(),
-		Ring: r.ring,
-		Node: node,
-		Bus:  r.cfg.Telemetry,
+		Self:    node.Name(),
+		Ring:    r.ring,
+		Node:    node,
+		Bus:     r.cfg.Telemetry,
+		Drained: r.member.IsDrained,
 	}
 	return r, nil
 }
@@ -111,6 +123,72 @@ func (r *ReplicaServer) Ring() *ring.Ring { return r.ring }
 // Monitor returns the ring heartbeat monitor so owners can Start/Stop it
 // or drive Beat manually in tests.
 func (r *ReplicaServer) Monitor() *ring.Monitor { return r.mon }
+
+// Membership returns the replica's epoch-based membership manager, through
+// which owners propose joins, drains, and removals.
+func (r *ReplicaServer) Membership() *membership.Manager { return r.member }
+
+// activeMembers is the roster a new round runs over: the live ring minus
+// drained members. Drained replicas keep heartbeating and serving their
+// installed plans but take no new load.
+func (r *ReplicaServer) activeMembers() []string {
+	members := r.ring.Members()
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if !r.member.IsDrained(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AutoScale feeds the latest completed round into the energy-aware
+// elasticity policy and applies its verdict through the membership layer:
+// PowerDown drains the priciest active replica, PowerUp undrains the
+// cheapest drained one. It returns the policy's decision and whether an
+// epoch change was actually proposed (a Hold, a missing report, or an
+// inapplicable target proposes nothing). Call it once per scheduling
+// window — the policy's hysteresis counters assume regular samples.
+func (r *ReplicaServer) AutoScale(ctx context.Context, p *membership.Policy) (membership.Decision, bool, error) {
+	r.mu.Lock()
+	report := r.lastReport
+	cache := make(map[string]ReplicaInfo, len(r.infoCache))
+	for addr, info := range r.infoCache {
+		cache[addr] = info
+	}
+	r.mu.Unlock()
+	if report == nil {
+		return membership.Decision{}, false, nil
+	}
+	load := 0.0
+	for _, row := range report.Assignment {
+		for _, v := range row {
+			load += v
+		}
+	}
+	cur := r.member.Current()
+	sample := membership.Sample{
+		LoadMB:     load,
+		CapacityMB: make(map[string]float64, len(cache)),
+		Prices:     make(map[string]float64, len(cache)),
+		Active:     r.member.Active(),
+		Drained:    append([]string{}, cur.Drained...),
+	}
+	for addr, info := range cache {
+		sample.CapacityMB[addr] = info.Bandwidth
+		sample.Prices[addr] = info.Price
+	}
+	d := p.Evaluate(sample)
+	switch d.Action {
+	case membership.PowerDown:
+		_, err := r.member.ProposeChange(ctx, membership.OpDrain, d.Target)
+		return d, true, err
+	case membership.PowerUp:
+		_, err := r.member.ProposeChange(ctx, membership.OpUndrain, d.Target)
+		return d, true, err
+	}
+	return d, false, nil
+}
 
 // Close shuts the replica down.
 func (r *ReplicaServer) Close() error {
@@ -140,6 +218,8 @@ type Status struct {
 	Addr             string       `json:"addr"`
 	Algorithm        string       `json:"algorithm"`
 	Ring             []string     `json:"ring"`
+	Epoch            int          `json:"epoch"`
+	Drained          []string     `json:"drained,omitempty"`
 	Suspect          string       `json:"suspect,omitempty"`
 	SuspectMisses    int          `json:"suspect_misses,omitempty"`
 	Pending          int          `json:"pending"`
@@ -156,10 +236,13 @@ type Status struct {
 // Status snapshots the replica's runtime state for the admin plane.
 func (r *ReplicaServer) Status() Status {
 	suspect, misses := r.mon.Suspicion()
+	epoch := r.member.Current()
 	s := Status{
 		Addr:             r.Addr(),
 		Algorithm:        r.cfg.Algorithm.String(),
 		Ring:             r.ring.Members(),
+		Epoch:            epoch.Seq,
+		Drained:          epoch.Drained,
 		Suspect:          suspect,
 		SuspectMisses:    misses,
 		Pending:          r.PendingRequests(),
@@ -197,6 +280,10 @@ func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (tran
 		return r.mon.HandleHeartbeat(req)
 	case ring.DeathType:
 		return r.mon.HandleDeath(req)
+	case membership.EpochType:
+		return r.member.HandleEpoch(req)
+	case membership.ProposeType:
+		return r.member.HandlePropose(ctx, req)
 	default:
 		if reg, ok := engine.ServerFor(req.Type); ok && reg.Server != nil {
 			return r.handleEngine(ctx, reg, req)
@@ -373,6 +460,7 @@ func (r *ReplicaServer) handleRoundStart(req transport.Message) (transport.Messa
 		Col:          myCol,
 		Self:         r.Addr(),
 		ReplicaAddrs: replicaAddrs,
+		Warm:         spec.Warm,
 		Peers:        peerSender{r},
 		Par:          r.par,
 	}}

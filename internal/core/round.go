@@ -38,6 +38,10 @@ type RoundReport struct {
 	// renormalized over the reachable replicas. Demand is still fully
 	// assigned, but the split is stale rather than re-optimized.
 	Degraded bool `json:"degraded"`
+	// WarmStarted reports that the solvers were seeded from the previous
+	// round's assignment renormalized over this round's roster instead of
+	// the cold uniform start (see ReplicaConfig.ColdStart).
+	WarmStarted bool `json:"warm_started,omitempty"`
 	// Duration is the wall time of the whole round, restarts included.
 	Duration time.Duration `json:"duration_ns"`
 	// Residuals and Costs are the per-iteration convergence residual and
@@ -303,11 +307,12 @@ func (r *ReplicaServer) degradedRound(ctx context.Context, requests []*RequestBo
 	if lg == nil {
 		return nil, false
 	}
-	// Surviving columns: ring members minus the member the failure was
-	// attributed to (unreachable right now, though possibly still alive).
+	// Surviving columns: active (non-drained) ring members minus the
+	// member the failure was attributed to (unreachable right now, though
+	// possibly still alive).
 	var cols []int
 	for j, info := range lg.infos {
-		if info.Addr != failedAddr && r.ring.Contains(info.Addr) {
+		if info.Addr != failedAddr && r.ring.Contains(info.Addr) && !r.member.IsDrained(info.Addr) {
 			cols = append(cols, j)
 		}
 	}
@@ -325,31 +330,34 @@ func (r *ReplicaServer) degradedRound(ctx context.Context, requests []*RequestBo
 		rowOf[addr] = i
 	}
 
-	// Renormalize per client: keep the last-good proportions across the
-	// surviving replicas; clients with no history (or whose entire last
-	// split landed on lost replicas) spread uniformly.
-	assignment := opt.NewMatrix(len(requests), len(cols))
+	// Renormalize per client (shared warm-start kernel): keep the
+	// last-good proportions across the surviving replicas; clients with
+	// no history (or whose entire last split landed on lost replicas)
+	// spread uniformly over their latency-feasible columns, and cap
+	// excess is redistributed onto replicas with headroom.
+	weights := opt.NewMatrix(len(requests), len(cols))
+	demands := make([]float64, len(requests))
 	clientAddrs := make([]string, len(requests))
+	caps := make([]float64, len(cols))
+	for jj := range cols {
+		caps[jj] = infos[jj].Bandwidth
+	}
+	allowed := make([][]bool, len(requests))
 	for i, req := range requests {
 		clientAddrs[i] = req.ClientAddr
-		weights := make([]float64, len(cols))
-		sum := 0.0
+		demands[i] = req.DemandMB
+		allowed[i] = make([]bool, len(cols))
+		for jj := range cols {
+			l, ok := req.LatencySec[infos[jj].Addr]
+			allowed[i][jj] = ok && l <= r.cfg.MaxLatencySec
+		}
 		if row, ok := rowOf[req.ClientAddr]; ok {
 			for jj, j := range cols {
-				weights[jj] = lg.assignment[row][j]
-				sum += weights[jj]
+				weights[i][jj] = lg.assignment[row][j]
 			}
-		}
-		if sum <= 0 {
-			for jj := range weights {
-				weights[jj] = 1
-			}
-			sum = float64(len(cols))
-		}
-		for jj := range weights {
-			assignment[i][jj] = req.DemandMB * weights[jj] / sum
 		}
 	}
+	assignment := opt.Renormalize(weights, demands, caps, allowed)
 
 	r.mu.Lock()
 	r.roundSeq++
@@ -457,11 +465,13 @@ func asFailedMember(err error, target **failedMemberError) bool {
 	return false
 }
 
-// runRoundOnce executes one attempt over the current ring membership.
+// runRoundOnce executes one attempt over the current ring membership,
+// excluding drained members (they keep heartbeating and serving installed
+// plans, but take no new load — the membership layer's drain semantics).
 func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBody, restarts int) (*RoundReport, error) {
-	members := r.ring.Members()
+	members := r.activeMembers()
 	if len(members) == 0 {
-		return nil, fmt.Errorf("core: replica %s: empty ring", r.Addr())
+		return nil, fmt.Errorf("core: replica %s: no active ring members", r.Addr())
 	}
 
 	// 1. Gather every member's model parameters (parallel fan-out).
@@ -509,6 +519,16 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		return nil, err
 	}
 
+	// Warm start: when a last-known-good assignment exists, renormalize it
+	// over this round's roster and ship it with the spec so every solver
+	// seeds from a demand-conserving point near the previous optimum. This
+	// is what makes epoch changes cheap — the round after a join or drain
+	// re-converges from the old split instead of from the uniform start.
+	var warmMu []float64
+	if !r.cfg.ColdStart {
+		spec.Warm, warmMu = r.warmStart(requests, infos, prob)
+	}
+
 	// 3. Install the round on every replica.
 	if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, i int) error {
 		_, err := r.sendReplica(ctx, infos[i].Addr, MsgRoundStart, spec)
@@ -544,10 +564,13 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		ClientAddrs:  spec.ClientAddrs,
 		MaxIters:     r.cfg.MaxIters,
 		Tol:          r.cfg.Tol,
+		Warm:         spec.Warm,
+		WarmMu:       warmMu,
 		Pool:         r.pool,
 		Par:          r.par,
 	}
-	assignment, iterations, err := driver.Run(ctx, reg.New(), rd)
+	alg := reg.New()
+	assignment, iterations, err := driver.Run(ctx, alg, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -566,9 +589,24 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}
 	r.notifyClients(ctx, round, spec.ClientAddrs, infos, assignment, iterations)
 
-	// Remember this round as the fallback for degraded rounds.
+	// Remember this round as the fallback for degraded rounds and the seed
+	// for the next warm start (duals included when the algorithm reports
+	// them), and cache each participant's model parameters for the
+	// autoscaler's pricing signal.
+	var mus map[string]float64
+	if dr, ok := alg.(engine.DualReporter); ok {
+		if duals := dr.Duals(); len(duals) == len(spec.ClientAddrs) {
+			mus = make(map[string]float64, len(duals))
+			for i, addr := range spec.ClientAddrs {
+				mus[addr] = duals[i]
+			}
+		}
+	}
 	r.mu.Lock()
-	r.lastGood = &lastGoodRound{infos: infos, clientAddrs: spec.ClientAddrs, assignment: assignment}
+	r.lastGood = &lastGoodRound{infos: infos, clientAddrs: spec.ClientAddrs, assignment: assignment, mus: mus}
+	for _, info := range infos {
+		r.infoCache[info.Addr] = info
+	}
 	r.mu.Unlock()
 
 	return &RoundReport{
@@ -580,9 +618,79 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		ClientAddrs:  spec.ClientAddrs,
 		Assignment:   assignment,
 		Objective:    prob.Cost(assignment),
+		WarmStarted:  spec.Warm != nil,
 		Residuals:    trace.residuals,
 		Costs:        trace.costs,
 	}, nil
+}
+
+// warmStart builds the round's warm-start matrix (and, when the previous
+// round reported duals, the per-client dual seed) from the last-known-good
+// assignment: old columns are aligned to the new roster by replica address
+// and old rows to the new request set by client address, then the whole
+// matrix is renormalized so every row conserves its demand within this
+// round's capacity and latency constraints. Returns nils when there is no
+// history to warm from.
+func (r *ReplicaServer) warmStart(requests []*RequestBody, infos []ReplicaInfo, prob *opt.Problem) ([][]float64, []float64) {
+	r.mu.Lock()
+	lg := r.lastGood
+	r.mu.Unlock()
+	if lg == nil {
+		return nil, nil
+	}
+	colOf := make(map[string]int, len(lg.infos))
+	for j, info := range lg.infos {
+		colOf[info.Addr] = j
+	}
+	rowOf := make(map[string]int, len(lg.clientAddrs))
+	for i, addr := range lg.clientAddrs {
+		rowOf[addr] = i
+	}
+	weights := opt.NewMatrix(len(requests), len(infos))
+	var newCols []int
+	for j, info := range infos {
+		if _, ok := colOf[info.Addr]; !ok {
+			newCols = append(newCols, j)
+		}
+	}
+	for i, req := range requests {
+		row, ok := rowOf[req.ClientAddr]
+		if !ok {
+			continue // new client: Renormalize spreads it uniformly
+		}
+		total, kept := 0.0, 0.0
+		for _, v := range lg.assignment[row] {
+			total += v
+		}
+		for j, info := range infos {
+			if oj, ok := colOf[info.Addr]; ok {
+				weights[i][j] = lg.assignment[row][oj]
+				kept += weights[i][j]
+			}
+		}
+		// Mass that lived on departed columns seeds the joined ones: on a
+		// swap (drain one member, join another) the new optimum tends to
+		// hand the newcomer roughly the departed member's share, so
+		// inheriting it lands the seed much closer than spreading the
+		// loss over the incumbents.
+		if lost := total - kept; lost > 0 && len(newCols) > 0 {
+			for _, j := range newCols {
+				weights[i][j] = lost / float64(len(newCols))
+			}
+		}
+	}
+	caps := make([]float64, len(infos))
+	for j, info := range infos {
+		caps[j] = info.Bandwidth
+	}
+	var warmMu []float64
+	if lg.mus != nil {
+		warmMu = make([]float64, len(requests))
+		for i, req := range requests {
+			warmMu[i] = lg.mus[req.ClientAddr] // zero for new clients
+		}
+	}
+	return opt.Renormalize(weights, prob.Demands, caps, prob.Allowed()), warmMu
 }
 
 // notifyClients delivers each client its allocation. Client failures never

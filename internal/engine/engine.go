@@ -41,6 +41,18 @@ type Round struct {
 	// Tol is the configured convergence tolerance; <= 0 selects the
 	// algorithm's own default.
 	Tol float64
+	// Warm, when non-nil, is a demand-conserving client×replica starting
+	// assignment (the last-known-good split renormalized over this
+	// round's roster — see opt.Renormalize). Algorithms holding a primal
+	// iterate seed from it instead of their cold start; algorithms
+	// without one (LDDM's client-held duals are round-scoped) ignore it.
+	Warm [][]float64
+	// WarmMu, when non-nil, carries the previous round's final per-client
+	// dual values in this round's row order (from a DualReporter, below).
+	// Clients accumulate their μ from zero each round, so an initiator
+	// warm-starts the dual by treating WarmMu as an additive offset —
+	// no client-side state or wire change involved.
+	WarmMu []float64
 	// Pool recycles the round's scratch matrices/vectors; the driver
 	// creates one when nil and releases it when the round ends. Buffers
 	// that outlive the round (the recovered assignment) must be cloned.
@@ -127,6 +139,16 @@ type PrimalTracer interface {
 	// Primal returns the current primal iterate in client×replica layout,
 	// or nil when none is available this iteration.
 	Primal() [][]float64
+}
+
+// DualReporter is implemented by algorithms whose per-client dual values
+// survive a round usefully (ADMM's scaled dual u). After a successful run
+// the initiator stores them keyed by client and ships them back in as the
+// next round's Round.WarmMu, warm-starting the dual alongside the primal.
+type DualReporter interface {
+	// Duals returns the final per-client dual values in row order. The
+	// slice must remain valid after the driver returns.
+	Duals() []float64
 }
 
 // Driver runs Algorithms over a Transport. The zero value is unusable;

@@ -31,6 +31,10 @@ type ServerRound struct {
 	ReplicaAddrs []string
 	// Peers reaches the other replicas of the round.
 	Peers PeerSender
+	// Warm, when non-nil, is the initiator's warm-start assignment
+	// (client×replica) shipped with the round spec; participant state
+	// that holds a full-solution estimate (CDPSM) seeds from it.
+	Warm [][]float64
 	// Par fans this replica's solver kernels (local projections) across
 	// cores; nil runs them serially.
 	Par *opt.Parallel

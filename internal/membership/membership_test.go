@@ -1,0 +1,303 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"edr/internal/ring"
+	"edr/internal/telemetry"
+	"edr/internal/transport"
+)
+
+func TestEpochValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Epoch
+		ok   bool
+	}{
+		{"valid", Epoch{Seq: 1, Members: []string{"a", "b"}, Drained: []string{"b"}}, true},
+		{"no members", Epoch{Seq: 1}, false},
+		{"negative seq", Epoch{Seq: -1, Members: []string{"a"}}, false},
+		{"drains non-member", Epoch{Seq: 1, Members: []string{"a"}, Drained: []string{"b"}}, false},
+		{"drains everyone", Epoch{Seq: 1, Members: []string{"a"}, Drained: []string{"a"}}, false},
+		{"duplicate member", Epoch{Seq: 1, Members: []string{"a", "a"}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.e.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid epoch accepted", tc.name)
+		}
+	}
+}
+
+func TestEpochActive(t *testing.T) {
+	e := Epoch{Seq: 1, Members: []string{"a", "b", "c"}, Drained: []string{"b"}}
+	got := e.Active()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Active() = %v", got)
+	}
+	if !e.IsDrained("b") || e.IsDrained("a") {
+		t.Fatal("IsDrained wrong")
+	}
+}
+
+// node is one test member: a ring + manager serving the membership verbs.
+type node struct {
+	mgr *Manager
+	nd  transport.Node
+}
+
+func newNode(t *testing.T, net transport.Network, name string, members []string, bus *telemetry.Bus) *node {
+	t.Helper()
+	n := &node{}
+	nd, err := net.Listen(name, func(ctx context.Context, req transport.Message) (transport.Message, error) {
+		switch req.Type {
+		case EpochType:
+			return n.mgr.HandleEpoch(req)
+		case ProposeType:
+			return n.mgr.HandlePropose(ctx, req)
+		}
+		return transport.Message{}, fmt.Errorf("unknown type %q", req.Type)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nd.Close() })
+	rg := ring.New(members)
+	rg.Bus = bus
+	n.nd = nd
+	n.mgr = NewManager(name, rg, nd, bus)
+	return n
+}
+
+func newCluster(t *testing.T, net *transport.InProcNetwork, names ...string) map[string]*node {
+	t.Helper()
+	nodes := make(map[string]*node, len(names))
+	for _, name := range names {
+		nodes[name] = newNode(t, net, name, names, nil)
+	}
+	return nodes
+}
+
+func TestApplyRejectsStaleAndAcceptsResend(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	n := newNode(t, net, "a", []string{"a", "b"}, nil)
+	e2 := Epoch{Seq: 2, Members: []string{"a", "b", "c"}}
+	if changed, err := n.mgr.Apply(e2, "b"); err != nil || !changed {
+		t.Fatalf("Apply(e2) = %v, %v", changed, err)
+	}
+	if !n.mgr.Ring.Contains("c") {
+		t.Fatal("ring not reconciled to the epoch")
+	}
+	// Stale sequence.
+	if _, err := n.mgr.Apply(Epoch{Seq: 1, Members: []string{"a"}}, "b"); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale epoch error = %v", err)
+	}
+	// Same sequence, different content: conflict, also stale.
+	if _, err := n.mgr.Apply(Epoch{Seq: 2, Members: []string{"a", "b"}}, "b"); !errors.Is(err, ErrStale) {
+		t.Fatalf("conflicting epoch error = %v", err)
+	}
+	// Identical re-send: idempotent, accepted, no change.
+	if changed, err := n.mgr.Apply(e2, "b"); err != nil || changed {
+		t.Fatalf("identical re-send = %v, %v", changed, err)
+	}
+	if got := n.mgr.Current().Seq; got != 2 {
+		t.Fatalf("seq = %d", got)
+	}
+}
+
+func TestProposeDisseminatesWithQuorum(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	nodes := newCluster(t, net, "a", "b", "c")
+	ctx := context.Background()
+
+	committed, err := nodes["a"].mgr.ProposeChange(ctx, OpDrain, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed.Seq != 1 || !committed.IsDrained("c") {
+		t.Fatalf("committed = %+v", committed)
+	}
+	for name, n := range nodes {
+		cur := n.mgr.Current()
+		if cur.Seq != 1 || !cur.IsDrained("c") {
+			t.Fatalf("%s holds %+v", name, cur)
+		}
+		if !n.mgr.Ring.Contains("c") {
+			t.Fatalf("%s evicted the drained member from the ring", name)
+		}
+	}
+
+	// A new member joins via a proposal addressed to any live node.
+	joiner := newNode(t, net, "d", []string{"d"}, nil)
+	committed, err = nodes["b"].mgr.ProposeChange(ctx, OpJoin, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed.Seq != 2 || len(committed.Members) != 4 {
+		t.Fatalf("join committed = %+v", committed)
+	}
+	// The joiner itself learned the epoch from dissemination.
+	if cur := joiner.mgr.Current(); cur.Seq != 2 || len(cur.Members) != 4 {
+		t.Fatalf("joiner holds %+v", cur)
+	}
+	for name, n := range nodes {
+		if !n.mgr.Ring.Contains("d") {
+			t.Fatalf("%s ring missing the joiner", name)
+		}
+	}
+
+	// Undrain and remove round-trip.
+	if _, err := nodes["c"].mgr.ProposeChange(ctx, OpUndrain, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if nodes["a"].mgr.IsDrained("c") {
+		t.Fatal("undrain did not propagate")
+	}
+	if _, err := nodes["a"].mgr.ProposeChange(ctx, OpRemove, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if nodes["b"].mgr.Ring.Contains("d") {
+		t.Fatal("removed member still in ring")
+	}
+}
+
+func TestProposeFailsWithoutQuorum(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	nodes := newCluster(t, net, "a", "b", "c")
+	net.Crash("b")
+	net.Crash("c")
+	_, err := nodes["a"].mgr.ProposeChange(context.Background(), OpDrain, "c")
+	if err == nil {
+		t.Fatal("proposal committed with 1/3 acks")
+	}
+	if !strings.Contains(err.Error(), "acks") {
+		t.Fatalf("error should report the ack count: %v", err)
+	}
+}
+
+func TestProposeDrainRejectsLastActive(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	nodes := newCluster(t, net, "a", "b")
+	ctx := context.Background()
+	if _, err := nodes["a"].mgr.ProposeChange(ctx, OpDrain, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes["a"].mgr.ProposeChange(ctx, OpDrain, "a"); err == nil {
+		t.Fatal("draining the last active member accepted")
+	}
+}
+
+func TestManagerPublishesEvents(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	bus := telemetry.NewBus()
+	var events []telemetry.Event
+	bus.Subscribe(func(e telemetry.Event) { events = append(events, e) })
+	n := newNode(t, net, "a", []string{"a", "b"}, bus)
+	if _, err := n.mgr.Apply(Epoch{Seq: 1, Members: []string{"a", "b", "c"}, Drained: []string{"b"}}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	var joined, drained, committed bool
+	for _, e := range events {
+		switch ev := e.(type) {
+		case telemetry.MemberJoined:
+			if ev.Member == "c" {
+				joined = true
+			}
+		case telemetry.MemberDrained:
+			if ev.Member == "b" && ev.Epoch == 1 {
+				drained = true
+			}
+		case telemetry.EpochCommitted:
+			if ev.Seq == 1 && ev.By == "b" {
+				committed = true
+			}
+		}
+	}
+	if !joined || !drained || !committed {
+		t.Fatalf("missing events (joined=%v drained=%v committed=%v): %v", joined, drained, committed, events)
+	}
+}
+
+func TestPolicyHysteresis(t *testing.T) {
+	p := &Policy{LowUtil: 0.3, HighUtil: 0.75, DownAfter: 3, UpAfter: 2, Cooldown: 2, MinActive: 1}
+	caps := map[string]float64{"a": 100, "b": 100, "c": 100}
+	prices := map[string]float64{"a": 1, "b": 8, "c": 3}
+	active := []string{"a", "b", "c"}
+	var drained []string
+
+	sample := func(load float64) Sample {
+		return Sample{LoadMB: load, CapacityMB: caps, Prices: prices, Active: active, Drained: drained}
+	}
+
+	// Two cold windows: below DownAfter, must hold.
+	for i := 0; i < 2; i++ {
+		if d := p.Evaluate(sample(30)); d.Action != Hold {
+			t.Fatalf("window %d: %+v before the streak matured", i, d)
+		}
+	}
+	// A warm window resets the streak.
+	if d := p.Evaluate(sample(150)); d.Action != Hold {
+		t.Fatalf("comfort-band window acted: %+v", d)
+	}
+	// Three consecutive cold windows now trigger a power-down of the
+	// priciest active member.
+	var down Decision
+	for i := 0; i < 3; i++ {
+		down = p.Evaluate(sample(30))
+	}
+	if down.Action != PowerDown || down.Target != "b" {
+		t.Fatalf("power-down = %+v", down)
+	}
+	active, drained = []string{"a", "c"}, []string{"b"}
+
+	// Still cold, but cooldown holds the line (no flap).
+	for i := 0; i < 2; i++ {
+		if d := p.Evaluate(sample(30)); d.Action != Hold {
+			t.Fatalf("cooldown window acted: %+v", d)
+		}
+	}
+
+	// Load returns: two hot windows restore the cheapest drained member.
+	var up Decision
+	for i := 0; i < 2; i++ {
+		up = p.Evaluate(sample(190))
+	}
+	if up.Action != PowerUp || up.Target != "b" {
+		t.Fatalf("power-up = %+v", up)
+	}
+	active, drained = []string{"a", "b", "c"}, nil
+
+	// Oscillating signal: one cold, one hot, repeatedly — never enough
+	// streak to act, so the fleet must not flap.
+	for i := 0; i < 10; i++ {
+		load := 30.0
+		if i%2 == 1 {
+			load = 190
+		}
+		if d := p.Evaluate(sample(load)); d.Action != Hold {
+			t.Fatalf("oscillation window %d acted: %+v", i, d)
+		}
+	}
+}
+
+func TestPolicyRespectsMinActive(t *testing.T) {
+	p := &Policy{DownAfter: 1, Cooldown: -1, MinActive: 1}
+	s := Sample{
+		LoadMB:     0,
+		CapacityMB: map[string]float64{"a": 100},
+		Prices:     map[string]float64{"a": 5},
+		Active:     []string{"a"},
+	}
+	for i := 0; i < 5; i++ {
+		if d := p.Evaluate(s); d.Action != Hold {
+			t.Fatalf("drained below MinActive: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package membership
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Action is what the autoscale policy wants done this window.
+type Action int
+
+const (
+	// Hold keeps the current roster.
+	Hold Action = iota
+	// PowerDown drains Decision.Target (planned power-down).
+	PowerDown
+	// PowerUp undrains Decision.Target.
+	PowerUp
+)
+
+// String returns the action's log name.
+func (a Action) String() string {
+	switch a {
+	case PowerDown:
+		return "power-down"
+	case PowerUp:
+		return "power-up"
+	default:
+		return "hold"
+	}
+}
+
+// Decision is one window's autoscale verdict.
+type Decision struct {
+	Action Action
+	// Target is the member to drain / undrain (empty for Hold).
+	Target string
+	// Util is the fleet utilization the decision was based on.
+	Util float64
+	// Reason explains the verdict for logs.
+	Reason string
+}
+
+// Sample is one scheduling window's observation of the fleet.
+type Sample struct {
+	// LoadMB is the total demand scheduled in the window.
+	LoadMB float64
+	// CapacityMB maps member → serving capacity (bandwidth) per window.
+	CapacityMB map[string]float64
+	// Prices maps member → its current electricity tariff (¢/kWh); the
+	// policy sheds the most expensive active capacity first and restores
+	// the cheapest drained capacity first, which is where the paper's
+	// price-diversity argument meets elasticity.
+	Prices map[string]float64
+	// Active and Drained are the current epoch's rosters.
+	Active  []string
+	Drained []string
+}
+
+// Policy is the energy-aware elasticity controller: it watches fleet
+// utilization (load over active capacity) and, with hysteresis, drains
+// replicas when the fleet runs cold and undrains them when it runs hot.
+// Hysteresis follows the setup-cost framing of Mathew et al.'s
+// energy-aware CDN work: capacity state changes are only worth their
+// switching cost when the signal persists, so a threshold crossing must
+// hold for several consecutive windows (UpAfter / DownAfter) and every
+// action is followed by a cooldown during which the policy holds — the
+// two together keep the fleet from flapping on a noisy diurnal edge.
+//
+// Policy keeps streak counters between Evaluate calls and is not safe
+// for concurrent use; drive it from one control loop.
+type Policy struct {
+	// LowUtil and HighUtil bound the comfort band: utilization below
+	// LowUtil argues for shedding capacity, above HighUtil for restoring
+	// it. Zero values select 0.30 and 0.75.
+	LowUtil  float64
+	HighUtil float64
+	// DownAfter / UpAfter are how many consecutive windows the signal
+	// must persist before acting. Zero values select 3 and 2 — shedding
+	// is lazier than restoring because running cold wastes money while
+	// running hot sheds load.
+	DownAfter int
+	UpAfter   int
+	// Cooldown is how many windows after any action the policy holds.
+	// Zero selects 3; -1 means no cooldown.
+	Cooldown int
+	// MinActive is the active-roster floor PowerDown never crosses.
+	// Zero selects 1.
+	MinActive int
+
+	lowStreak  int
+	highStreak int
+	cooldown   int
+}
+
+func (p *Policy) lowUtil() float64 {
+	if p.LowUtil > 0 {
+		return p.LowUtil
+	}
+	return 0.30
+}
+
+func (p *Policy) highUtil() float64 {
+	if p.HighUtil > 0 {
+		return p.HighUtil
+	}
+	return 0.75
+}
+
+func (p *Policy) downAfter() int {
+	if p.DownAfter > 0 {
+		return p.DownAfter
+	}
+	return 3
+}
+
+func (p *Policy) upAfter() int {
+	if p.UpAfter > 0 {
+		return p.UpAfter
+	}
+	return 2
+}
+
+func (p *Policy) cooldownWindows() int {
+	if p.Cooldown > 0 {
+		return p.Cooldown
+	}
+	if p.Cooldown < 0 {
+		return 0
+	}
+	return 3
+}
+
+func (p *Policy) minActive() int {
+	if p.MinActive > 0 {
+		return p.MinActive
+	}
+	return 1
+}
+
+// Evaluate consumes one window's sample and returns the verdict. The
+// caller applies PowerDown / PowerUp via Manager.ProposeChange (OpDrain /
+// OpUndrain) and feeds the next window back in.
+func (p *Policy) Evaluate(s Sample) Decision {
+	capacity := 0.0
+	for _, m := range s.Active {
+		capacity += s.CapacityMB[m]
+	}
+	util := 0.0
+	if capacity > 0 {
+		util = s.LoadMB / capacity
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+	}
+	switch {
+	case util < p.lowUtil():
+		p.lowStreak++
+		p.highStreak = 0
+	case util > p.highUtil():
+		p.highStreak++
+		p.lowStreak = 0
+	default:
+		p.lowStreak, p.highStreak = 0, 0
+	}
+	if p.cooldown > 0 {
+		return Decision{Action: Hold, Util: util, Reason: fmt.Sprintf("cooldown (%d windows left)", p.cooldown)}
+	}
+	if p.lowStreak >= p.downAfter() && len(s.Active) > p.minActive() {
+		target := pickByPrice(s.Active, s.Prices, true)
+		if target != "" {
+			p.lowStreak = 0
+			p.cooldown = p.cooldownWindows()
+			return Decision{
+				Action: PowerDown,
+				Target: target,
+				Util:   util,
+				Reason: fmt.Sprintf("utilization %.2f below %.2f for %d windows; shedding priciest active member", util, p.lowUtil(), p.downAfter()),
+			}
+		}
+	}
+	if p.highStreak >= p.upAfter() && len(s.Drained) > 0 {
+		target := pickByPrice(s.Drained, s.Prices, false)
+		if target != "" {
+			p.highStreak = 0
+			p.cooldown = p.cooldownWindows()
+			return Decision{
+				Action: PowerUp,
+				Target: target,
+				Util:   util,
+				Reason: fmt.Sprintf("utilization %.2f above %.2f for %d windows; restoring cheapest drained member", util, p.highUtil(), p.upAfter()),
+			}
+		}
+	}
+	return Decision{Action: Hold, Util: util}
+}
+
+// pickByPrice selects the highest-priced (max=true) or lowest-priced
+// member; ties and missing prices break deterministically by name.
+func pickByPrice(members []string, prices map[string]float64, max bool) string {
+	if len(members) == 0 {
+		return ""
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	best := sorted[0]
+	for _, m := range sorted[1:] {
+		if max && prices[m] > prices[best] {
+			best = m
+		} else if !max && prices[m] < prices[best] {
+			best = m
+		}
+	}
+	return best
+}

@@ -42,6 +42,13 @@ type Monitor struct {
 	// OnFailure, when non-nil, runs after a dead member has been removed
 	// and the survivors notified. It receives the dead member's name.
 	OnFailure func(dead string)
+	// Drained, when non-nil, reports whether a member is under a planned
+	// drain (epoch-committed power-down). A drained member is deliberately
+	// quiet — it serves old plans but joins no new rounds — so it must not
+	// accrue suspicion, be declared dead, or shrink the ring via a peer's
+	// death notice: Beat watches past it and DeclareDead/HandleDeath
+	// ignore it.
+	Drained func(member string) bool
 	// Bus, when non-nil, receives MemberSuspected / MemberDeclared /
 	// MemberHealed telemetry events as the suspicion state machine moves.
 	Bus *telemetry.Bus
@@ -170,10 +177,10 @@ func (m *Monitor) loop(stop chan struct{}) {
 // the same successor trigger failure handling. Exported so tests and
 // virtual-time harnesses can drive the protocol without real timers.
 func (m *Monitor) Beat() {
-	succ, ok := m.Ring.Successor(m.Self)
+	succ, ok := m.watchTarget()
 	if !ok {
 		m.clearSuspicion()
-		return // alone in the ring: nothing to watch
+		return // alone in the ring (or only drained peers): nothing to watch
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout())
 	defer cancel()
@@ -190,10 +197,35 @@ func (m *Monitor) Beat() {
 	m.clearSuspicion()
 }
 
+// watchTarget returns the member this monitor should heartbeat: its ring
+// successor, skipping past drained members (which are intentionally
+// passive, not suspects). Walking the whole ring back to Self means every
+// other member is drained — nothing to watch.
+func (m *Monitor) watchTarget() (string, bool) {
+	succ, ok := m.Ring.Successor(m.Self)
+	if !ok {
+		return "", false
+	}
+	if m.Drained == nil {
+		return succ, true
+	}
+	for m.Drained(succ) {
+		next, ok := m.Ring.Successor(succ)
+		if !ok || next == succ || next == m.Self {
+			return "", false
+		}
+		succ = next
+	}
+	return succ, true
+}
+
 // DeclareDead removes the member, notifies survivors, and fires OnFailure.
 // It is exported so the round initiator can prune a member it found dead
 // during coordination, not only via missed heartbeats.
 func (m *Monitor) DeclareDead(dead string) {
+	if m.Drained != nil && m.Drained(dead) {
+		return // planned drain, not a failure: keep it in the ring
+	}
 	if !m.Ring.Remove(dead) {
 		return // someone else already handled it
 	}
@@ -226,6 +258,11 @@ func (m *Monitor) HandleDeath(req transport.Message) (transport.Message, error) 
 	var notice deathNotice
 	if err := req.DecodeBody(&notice); err != nil {
 		return transport.Message{}, err
+	}
+	if m.Drained != nil && m.Drained(notice.Dead) {
+		// A peer raced its declaration against the drain epoch: the member
+		// is deliberately quiet, not dead. Keep it.
+		return transport.NewMessage(DeathType+".ack", m.Self, nil)
 	}
 	if m.Ring.Remove(notice.Dead) {
 		m.Bus.Publish(telemetry.MemberDeclared{Member: notice.Dead, By: req.From})

@@ -394,3 +394,90 @@ func TestHandleDeathBadBody(t *testing.T) {
 		t.Fatal("empty death notice accepted")
 	}
 }
+
+// drainSet marks members under a planned drain for the tests below.
+func drainSet(drained ...string) func(string) bool {
+	set := make(map[string]bool, len(drained))
+	for _, d := range drained {
+		set[d] = true
+	}
+	return func(member string) bool { return set[member] }
+}
+
+func TestMonitorDrainedSuccessorAccruesNoSuspicion(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b", "c"}
+	var members []*testMember
+	for _, n := range names {
+		members = append(members, newTestMember(t, net, n, names))
+	}
+	// Drain b fleet-wide, then crash it: a drained member is deliberately
+	// quiet, so a must watch past it to c, never suspect it, and never
+	// declare it dead — the ring keeps all three members.
+	for _, m := range members {
+		m.monitor.Drained = drainSet("b")
+	}
+	net.Crash("b")
+	for i := 0; i < 5; i++ {
+		members[0].monitor.Beat()
+	}
+	if got := members[0].deathList(); len(got) != 0 {
+		t.Fatalf("a declared deaths %v for a drained member", got)
+	}
+	if suspect, misses := members[0].monitor.Suspicion(); suspect != "" || misses != 0 {
+		t.Fatalf("a suspects %q (%d misses); drained members must accrue no suspicion", suspect, misses)
+	}
+	for _, m := range []*testMember{members[0], members[2]} {
+		if !m.monitor.Ring.Contains("b") {
+			t.Fatalf("%s pruned drained member b", m.name)
+		}
+	}
+}
+
+func TestMonitorDeclareDeadIgnoresDrained(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b"}
+	a := newTestMember(t, net, "a", names)
+	a.monitor.Drained = drainSet("b")
+	a.monitor.DeclareDead("b")
+	if !a.monitor.Ring.Contains("b") {
+		t.Fatal("DeclareDead removed a drained member")
+	}
+	if len(a.deathList()) != 0 {
+		t.Fatalf("OnFailure fired for a drained member: %v", a.deathList())
+	}
+}
+
+func TestHandleDeathIgnoresDrained(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b", "c"}
+	a := newTestMember(t, net, "a", names)
+	a.monitor.Drained = drainSet("b")
+	notice, err := transport.NewMessage(DeathType, "c", deathNotice{Dead: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.monitor.HandleDeath(notice); err != nil {
+		t.Fatal(err)
+	}
+	if !a.monitor.Ring.Contains("b") {
+		t.Fatal("death notice removed a drained member")
+	}
+	if len(a.deathList()) != 0 {
+		t.Fatalf("OnFailure fired from a peer's notice for a drained member: %v", a.deathList())
+	}
+}
+
+func TestMonitorAllPeersDrainedNothingToWatch(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	names := []string{"a", "b"}
+	a := newTestMember(t, net, "a", names)
+	a.monitor.Drained = drainSet("b")
+	net.Crash("b")
+	for i := 0; i < 3; i++ {
+		a.monitor.Beat() // must be a no-op: the only peer is drained
+	}
+	if len(a.deathList()) != 0 || a.monitor.Ring.Len() != 2 {
+		t.Fatalf("deaths %v, ring %d; a lone active member has nothing to watch", a.deathList(), a.monitor.Ring.Len())
+	}
+}

@@ -9,12 +9,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"edr/internal/telemetry"
 )
 
 // Ring is an ordered membership list. Members are kept sorted by name so
 // every node independently derives the same ring from the same member set.
 // Ring is safe for concurrent use.
 type Ring struct {
+	// Bus, when non-nil, receives MemberJoined / MemberRemoved telemetry
+	// events as Add and Remove mutate the view, making every membership
+	// change — failure-detector prunes and epoch reconfigurations alike —
+	// visible on the event plane. Set it before the ring is shared.
+	Bus *telemetry.Bus
+
 	mu      sync.RWMutex
 	members []string
 }
@@ -82,12 +90,14 @@ func (r *Ring) Successor(of string) (string, bool) {
 // the next Successor call.
 func (r *Ring) Remove(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	i := r.index(name)
 	if i < 0 {
+		r.mu.Unlock()
 		return false
 	}
 	r.members = append(r.members[:i], r.members[i+1:]...)
+	r.mu.Unlock()
+	r.Bus.Publish(telemetry.MemberRemoved{Member: name})
 	return true
 }
 
@@ -97,12 +107,14 @@ func (r *Ring) Add(name string) bool {
 		return false
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.index(name) >= 0 {
+		r.mu.Unlock()
 		return false
 	}
 	r.members = append(r.members, name)
 	sort.Strings(r.members)
+	r.mu.Unlock()
+	r.Bus.Publish(telemetry.MemberJoined{Member: name})
 	return true
 }
 

@@ -1,8 +1,11 @@
 package ring
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
+
+	"edr/internal/telemetry"
 )
 
 func TestNewSortsAndDedups(t *testing.T) {
@@ -141,5 +144,33 @@ func TestMembersReturnsCopy(t *testing.T) {
 	m[0] = "mutated"
 	if r.Members()[0] != "a" {
 		t.Fatal("Members exposes internal slice")
+	}
+}
+
+func TestRingPublishesJoinAndRemoveEvents(t *testing.T) {
+	bus := telemetry.NewBus()
+	var mu sync.Mutex
+	var events []telemetry.Event
+	bus.Subscribe(func(e telemetry.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	r := New([]string{"a", "b"})
+	r.Bus = bus
+	r.Add("c")
+	r.Add("c") // already present: no event
+	r.Remove("a")
+	r.Remove("a") // already gone: no event
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("got %d events %v, want 2", len(events), events)
+	}
+	if j, ok := events[0].(telemetry.MemberJoined); !ok || j.Member != "c" {
+		t.Fatalf("events[0] = %#v, want MemberJoined{c}", events[0])
+	}
+	if rm, ok := events[1].(telemetry.MemberRemoved); !ok || rm.Member != "a" {
+		t.Fatalf("events[1] = %#v, want MemberRemoved{a}", events[1])
 	}
 }

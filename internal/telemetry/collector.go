@@ -18,6 +18,11 @@ import (
 //	edr_round_duration_seconds             histogram, wall time per round
 //	edr_round_iterations                   histogram, distributed iterations per round
 //	edr_round_objective                    gauge, energy cost of the last round
+//	edr_ring_joined_total{member}          counter, members added to the view
+//	edr_ring_removed_total{member}         counter, members removed from the view
+//	edr_membership_drained_total{member}   counter, members drained by epochs
+//	edr_membership_epochs_total            counter, epochs committed locally
+//	edr_membership_epoch                   gauge, last committed epoch sequence
 //	edr_ring_suspected_total{member}       counter, heartbeat misses below threshold
 //	edr_ring_declared_dead_total{member}   counter, members pruned from the ring
 //	edr_ring_healed_total{member}          counter, suspicions cleared by a heartbeat
@@ -34,6 +39,7 @@ type Collector struct {
 	rounds        []RoundCompleted // ring buffer, oldest first
 	keep          int
 	lastObjective float64
+	lastEpoch     int
 }
 
 // DefaultRoundLog is how many recent rounds /debug/rounds retains when
@@ -59,6 +65,12 @@ func NewCollector(keep int) *Collector {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			return c.lastObjective
+		})
+	reg.Gauge("edr_membership_epoch",
+		"Sequence number of the most recently committed cluster epoch.", nil, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.lastEpoch)
 		})
 	return c
 }
@@ -113,6 +125,24 @@ func (c *Collector) Handle(e Event) {
 		reg.Counter("edr_ring_healed_total",
 			"Suspicions cleared by a successful heartbeat.",
 			Labels{"member": ev.Member}).Inc(1)
+	case MemberJoined:
+		reg.Counter("edr_ring_joined_total",
+			"Members added to the membership view.",
+			Labels{"member": ev.Member}).Inc(1)
+	case MemberRemoved:
+		reg.Counter("edr_ring_removed_total",
+			"Members removed from the membership view.",
+			Labels{"member": ev.Member}).Inc(1)
+	case MemberDrained:
+		reg.Counter("edr_membership_drained_total",
+			"Members drained (planned power-down) by committed epochs.",
+			Labels{"member": ev.Member}).Inc(1)
+	case EpochCommitted:
+		reg.Counter("edr_membership_epochs_total",
+			"Cluster epochs committed locally.", nil).Inc(1)
+		c.mu.Lock()
+		c.lastEpoch = ev.Seq
+		c.mu.Unlock()
 	case RPCRetried:
 		reg.Counter("edr_rpc_retries_total",
 			"Coordination RPC retry attempts.",

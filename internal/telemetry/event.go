@@ -88,6 +88,41 @@ type MemberHealed struct {
 	Misses int `json:"misses"`
 }
 
+// MemberJoined is published by the ring when a member is added to the
+// membership view — a bootstrap seed, a heal, or an epoch that admitted a
+// new replica.
+type MemberJoined struct {
+	Member string `json:"member"`
+}
+
+// MemberRemoved is published by the ring when a member leaves the
+// membership view for any reason: declared dead by the failure detector
+// or removed by a committed epoch.
+type MemberRemoved struct {
+	Member string `json:"member"`
+}
+
+// MemberDrained is published when an epoch marks a member drained: still
+// alive and heartbeating, still serving installed plans, but excluded
+// from new scheduling rounds (planned power-down, not a failure).
+type MemberDrained struct {
+	Member string `json:"member"`
+	// Epoch is the epoch sequence that drained it.
+	Epoch int `json:"epoch"`
+}
+
+// EpochCommitted is published when a cluster epoch is applied locally —
+// proposed by this node or disseminated by a coordinator.
+type EpochCommitted struct {
+	// Seq is the epoch sequence number.
+	Seq int `json:"seq"`
+	// Members and Drained describe the new membership.
+	Members []string `json:"members"`
+	Drained []string `json:"drained,omitempty"`
+	// By names the node the epoch came from ("" when applied locally).
+	By string `json:"by,omitempty"`
+}
+
 // RPCRetried is published per coordination-RPC retry attempt.
 type RPCRetried struct {
 	// Peer is the destination of the retried send.
