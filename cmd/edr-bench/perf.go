@@ -8,9 +8,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"edr/internal/admm"
 	"edr/internal/cdpsm"
+	"edr/internal/cohort"
 	"edr/internal/lddm"
 	"edr/internal/opt"
 	"edr/internal/probgen"
@@ -31,7 +33,24 @@ type perfReport struct {
 	Replicas   int          `json:"replicas"`
 	Solvers    []solverPerf `json:"solvers"`
 	Wire       wirePerf     `json:"wire"`
-	Notes      []string     `json:"notes,omitempty"`
+	// Cohort is the 10k-client cohort-scale entry: one round-equivalent
+	// solve ungrouped vs through the cohort layer. Optional so reports
+	// from pre-cohort builds still diff cleanly.
+	Cohort *cohortPerf `json:"cohort_scale,omitempty"`
+	Notes  []string    `json:"notes,omitempty"`
+}
+
+type cohortPerf struct {
+	Clients  int     `json:"clients"`
+	Regions  int     `json:"regions"`
+	Cohorts  int     `json:"cohorts"`
+	Ratio    float64 `json:"compression_ratio"`
+	MaxIters int     `json:"max_iters"`
+	// UngroupedNs is one CDPSM solve over the raw instance; CohortNs is
+	// group + reduced solve + disaggregate over the same instance.
+	UngroupedNs int64   `json:"ungrouped_ns_per_op"`
+	CohortNs    int64   `json:"cohort_ns_per_op"`
+	Speedup     float64 `json:"speedup_vs_ungrouped"`
 }
 
 type solverPerf struct {
@@ -143,6 +162,14 @@ func runPerf(outDir string, seed uint64, baseline string) error {
 		wire.BinaryFrameBytes, wire.JSONFrameBytes, wire.Ratio,
 		wire.BinaryBytesPerIteration, wire.JSONBytesPerIteration)
 
+	cp, err := measureCohortScale(seed)
+	if err != nil {
+		return err
+	}
+	report.Cohort = cp
+	fmt.Printf("perf cohort %d clients -> %d cohorts (%.0fx); ungrouped %12d ns/op  cohorted %12d ns/op  speedup %.0fx\n",
+		cp.Clients, cp.Cohorts, cp.Ratio, cp.UngroupedNs, cp.CohortNs, cp.Speedup)
+
 	if outDir == "" {
 		outDir = "."
 	}
@@ -207,6 +234,17 @@ func diffBaseline(fresh *perfReport, path string) error {
 		regressions = append(regressions, fmt.Sprintf("binary estimate frame %.1fx fatter (%d B vs baseline %d)",
 			float64(fresh.Wire.BinaryFrameBytes)/float64(was), fresh.Wire.BinaryFrameBytes, was))
 	}
+	// Cohort-scale tripwire: both sides relative (ungrouped vs cohorted on
+	// the SAME run), so runner speed cancels out and a hard floor is safe.
+	// Baselines from pre-cohort builds simply lack the section.
+	if base.Cohort != nil && fresh.Cohort != nil {
+		const cohortFloor = 10.0
+		if base.Cohort.Speedup >= cohortFloor && fresh.Cohort.Speedup < cohortFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"cohort-scale speedup fell to %.1fx (baseline %.1fx, floor %gx)",
+				fresh.Cohort.Speedup, base.Cohort.Speedup, cohortFloor))
+		}
+	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "perf regression: %s\n", r)
@@ -215,6 +253,68 @@ func diffBaseline(fresh *perfReport, path string) error {
 	}
 	fmt.Printf("perf baseline %s: no regressions (limits: %gx kernel, %gx wire)\n", path, slowdownLimit, wireLimit)
 	return nil
+}
+
+// measureCohortScale times one round-equivalent CDPSM solve of a
+// 10k-client regional instance ungrouped vs through the cohort layer
+// (group + reduced solve + disaggregate). The ungrouped solve runs once —
+// it is seconds, not microseconds, and the comparison is a tripwire for
+// the ≥10x claim, not a microbenchmark; the cohort path takes the best of
+// three runs to shave scheduler noise.
+func measureCohortScale(seed uint64) (*cohortPerf, error) {
+	const clients, replicas, regions, iters = 10000, 10, 50, 25
+	prob, err := probgen.MustFeasible(sim.NewRand(seed), probgen.Spec{
+		Clients:  clients,
+		Replicas: replicas,
+		Regions:  regions,
+		DemandLo: 0.005,
+		DemandHi: 0.05,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := cdpsm.New()
+	s.MaxIters = iters
+
+	t0 := time.Now()
+	if _, err := s.Solve(prob); err != nil {
+		return nil, err
+	}
+	ungrouped := time.Since(t0)
+
+	var best time.Duration
+	var g *cohort.Grouping
+	for run := 0; run < 3; run++ {
+		t0 = time.Now()
+		gg, err := cohort.Group(prob, cohort.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Solve(gg.Reduced())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := gg.Disaggregate(res.Assignment); err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+		g = gg
+	}
+	cp := &cohortPerf{
+		Clients:     clients,
+		Regions:     regions,
+		Cohorts:     g.K(),
+		Ratio:       g.Ratio(),
+		MaxIters:    iters,
+		UngroupedNs: ungrouped.Nanoseconds(),
+		CohortNs:    best.Nanoseconds(),
+	}
+	if cp.CohortNs > 0 {
+		cp.Speedup = float64(cp.UngroupedNs) / float64(cp.CohortNs)
+	}
+	return cp, nil
 }
 
 // measureWire frames one C×N estimate reply through both codecs and

@@ -236,6 +236,9 @@ func printStatus(w *os.File, st *core.Status) {
 	if r.WarmStarted {
 		flag = "  warm-started"
 	}
+	if r.Cohorts > 0 {
+		flag += fmt.Sprintf("  cohorted (%d virtual clients, %.1fx compression)", r.Cohorts, r.CohortRatio)
+	}
 	if r.Degraded {
 		flag = "  DEGRADED (last-good fallback)"
 	}

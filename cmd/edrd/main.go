@@ -60,6 +60,15 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "solver-kernel worker count (0 = GOMAXPROCS, -1 = serial)")
 		wireJSON    = flag.Bool("wire-json", false, "force JSON bodies on initiated RPCs (disable the compact binary codec; for pre-codec peers)")
 
+		// Client-scale cohort aggregation (internal/cohort): rounds with at
+		// least -cohort-min pending requests merge clients sharing a
+		// feasibility mask and latency class into virtual clients, solve at
+		// cohort granularity, and disaggregate back to exact per-client
+		// allocations.
+		cohortMin     = flag.Int("cohort-min", 0, "pending-request threshold that enables cohort aggregation (0 disables)")
+		cohortQuantum = flag.Duration("cohort-quantum", 0, "latency quantization step for cohort keying (0 = T/4)")
+		cohortMax     = flag.Int("cohort-max", 0, "cohort-count bound, enforced by coarsening the quantum (0 = unbounded)")
+
 		// Transient-fault tolerance knobs.
 		rpcTimeout   = flag.Duration("rpc-timeout", 3*time.Second, "deadline per coordination RPC attempt (lower it when injecting faults: a black-holed send stalls this long)")
 		sendRetries  = flag.Int("send-retries", 2, "coordination RPC retries before a failure is attributed to the peer (-1 disables)")
@@ -133,6 +142,10 @@ func main() {
 		Parallelism:  *parallelism,
 		WireJSON:     *wireJSON,
 		Telemetry:    bus,
+
+		CohortMinClients: *cohortMin,
+		CohortQuantumSec: cohortQuantum.Seconds(),
+		CohortMax:        *cohortMax,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -186,6 +199,9 @@ func main() {
 			extra := ""
 			if report.WarmStarted {
 				extra = " (warm-started)"
+			}
+			if report.Cohorts > 0 {
+				extra += fmt.Sprintf(" [%d cohorts, %.1fx]", report.Cohorts, report.CohortRatio)
 			}
 			if report.Degraded {
 				extra = " DEGRADED (last-good fallback)"

@@ -1,0 +1,84 @@
+package cohort
+
+import (
+	"testing"
+
+	"edr/internal/cdpsm"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+)
+
+// benchInstance is the 10k-client regional instance the cohort-scale
+// benchmarks share (50 regions, 10 replicas, per-client demands sized so
+// total demand stays within fleet bandwidth).
+func benchInstance(b *testing.B) *opt.Problem {
+	b.Helper()
+	prob, err := probgen.MustFeasible(sim.NewRand(9), probgen.Spec{
+		Clients:  10000,
+		Replicas: 10,
+		Regions:  50,
+		DemandLo: 0.005,
+		DemandHi: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// BenchmarkCohortScale is the acceptance benchmark for client-scale
+// sharding: one full round-equivalent solve at 10k clients, ungrouped vs
+// through the cohort layer (group + reduced solve + disaggregate). The
+// cohort path must be ≥10x faster; in practice it is two orders of
+// magnitude (compression is ~70x and CDPSM's per-iteration work is linear
+// in rows).
+func BenchmarkCohortScale(b *testing.B) {
+	prob := benchInstance(b)
+	mkSolver := func() *cdpsm.Solver {
+		s := cdpsm.New()
+		s.MaxIters = 25
+		return s
+	}
+	b.Run("ungrouped", func(b *testing.B) {
+		s := mkSolver()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cohorted", func(b *testing.B) {
+		s := mkSolver()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := Group(prob, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Solve(g.Reduced())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.Disaggregate(res.Assignment); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCohortGroup isolates the aggregation itself — the price of
+// admission every cohorted round pays before solving.
+func BenchmarkCohortGroup(b *testing.B) {
+	prob := benchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Group(prob, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -93,6 +93,21 @@ type ReplicaConfig struct {
 	// start. Set ColdStart to pin every round to the cold start — for
 	// A/B measurement or bit-exact reproduction of the paper's runs.
 	ColdStart bool
+	// CohortMinClients, when positive, enables cohort aggregation
+	// (internal/cohort) for rounds this replica initiates once the pending
+	// request count reaches the threshold: clients sharing a feasibility
+	// mask and quantized latency vector are merged into virtual clients,
+	// the distributed round runs at cohort granularity, and the result is
+	// disaggregated back to per-client allocations (demand conserved
+	// exactly, feasibility by construction). 0 disables cohorting; every
+	// round then solves at raw client granularity.
+	CohortMinClients int
+	// CohortQuantumSec is the latency quantization step (seconds) for
+	// cohort keying; 0 means MaxLatencySec/4.
+	CohortQuantumSec float64
+	// CohortMax, when positive, bounds the cohort count by coarsening the
+	// quantum until the grouping fits; 0 leaves the count unbounded.
+	CohortMax int
 	// WireJSON forces JSON bodies for every RPC this node initiates,
 	// disabling the compact binary codec on the wire. Peers always mirror
 	// a request's codec in their replies, so a JSON-only node

@@ -114,6 +114,12 @@ type RoundSpec struct {
 	LatencySec [][]float64 `json:"latency_sec"`
 	// MaxLatencySec is T.
 	MaxLatencySec float64 `json:"max_latency_sec"`
+	// RawClients, when positive, reports that the spec's rows are cohorts
+	// (virtual clients) aggregated from this many raw clients; the
+	// initiator disaggregates the result before installing it. Purely
+	// informational for participants — the iteration protocol is
+	// row-granularity-agnostic.
+	RawClients int `json:"raw_clients,omitempty"`
 	// Warm, when present, is the initiator's warm-start assignment
 	// (clients × replicas, same row/column order as the spec): the
 	// last-known-good split renormalized over this round's roster.

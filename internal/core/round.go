@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"edr/internal/cohort"
 	"edr/internal/engine"
 	"edr/internal/opt"
 	"edr/internal/telemetry"
@@ -42,6 +43,15 @@ type RoundReport struct {
 	// round's assignment renormalized over this round's roster instead of
 	// the cold uniform start (see ReplicaConfig.ColdStart).
 	WarmStarted bool `json:"warm_started,omitempty"`
+	// Cohorts is the number of virtual clients the distributed loop
+	// solved over when cohort aggregation was active (see
+	// ReplicaConfig.CohortMinClients); 0 means the round ran at raw
+	// client granularity. ClientAddrs and Assignment are always
+	// per-client either way — disaggregation happens before install.
+	Cohorts int `json:"cohorts,omitempty"`
+	// CohortRatio is the grouping's compression ratio |C|/|K|
+	// (0 when ungrouped).
+	CohortRatio float64 `json:"cohort_ratio,omitempty"`
 	// Duration is the wall time of the whole round, restarts included.
 	Duration time.Duration `json:"duration_ns"`
 	// Residuals and Costs are the per-iteration convergence residual and
@@ -282,17 +292,19 @@ func (r *ReplicaServer) finishRound(report *RoundReport, start time.Time) {
 	r.lastReport = report
 	r.mu.Unlock()
 	r.cfg.Telemetry.Publish(telemetry.RoundCompleted{
-		Round:      report.Round,
-		Algorithm:  report.Algorithm,
-		Iterations: report.Iterations,
-		Restarts:   report.Restarts,
-		Clients:    len(report.ClientAddrs),
-		Replicas:   len(report.ReplicaAddrs),
-		Objective:  report.Objective,
-		Duration:   report.Duration,
-		Degraded:   report.Degraded,
-		Residuals:  report.Residuals,
-		Costs:      report.Costs,
+		Round:       report.Round,
+		Algorithm:   report.Algorithm,
+		Iterations:  report.Iterations,
+		Restarts:    report.Restarts,
+		Clients:     len(report.ClientAddrs),
+		Replicas:    len(report.ReplicaAddrs),
+		Objective:   report.Objective,
+		Duration:    report.Duration,
+		Degraded:    report.Degraded,
+		Cohorts:     report.Cohorts,
+		CohortRatio: report.CohortRatio,
+		Residuals:   report.Residuals,
+		Costs:       report.Costs,
 	})
 }
 
@@ -515,7 +527,45 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	if err != nil {
 		return nil, err
 	}
-	if err := opt.CheckFeasible(prob); err != nil {
+
+	// Cohort aggregation: at client scale, merge clients sharing a
+	// feasibility mask and latency class into virtual clients and run the
+	// distributed loop on the reduced instance. The objective depends on
+	// an assignment only through per-replica column sums, so the reduced
+	// optimum matches the ungrouped one and disaggregation loses nothing
+	// (see internal/cohort). The grouping is skipped when it would not
+	// compress — a round over distinct clients gains nothing from an
+	// extra indirection.
+	solveSpec, solveProb := &spec, prob
+	var grouping *cohort.Grouping
+	if min := r.cfg.CohortMinClients; min > 0 && len(requests) >= min {
+		g, gerr := cohort.Group(prob, cohort.Options{
+			Quantum:    r.cfg.CohortQuantumSec,
+			MaxCohorts: r.cfg.CohortMax,
+		})
+		if gerr == nil && g.K() < prob.C() {
+			grouping = g
+			reduced := g.Reduced()
+			rspec := &RoundSpec{
+				Round:         round,
+				Replicas:      infos,
+				MaxLatencySec: r.cfg.MaxLatencySec,
+				RawClients:    len(requests),
+				Demands:       reduced.Demands,
+				LatencySec:    reduced.Latency,
+			}
+			// Each cohort's exchanges (LDDM μ updates, allocation rows)
+			// route to one representative member; cohorts are disjoint,
+			// so representatives are distinct and the client-side
+			// accumulators never collide.
+			rspec.ClientAddrs = make([]string, g.K())
+			for k := range rspec.ClientAddrs {
+				rspec.ClientAddrs[k] = spec.ClientAddrs[g.Members(k)[0]]
+			}
+			solveSpec, solveProb = rspec, reduced
+		}
+	}
+	if err := opt.CheckFeasible(solveProb); err != nil {
 		return nil, err
 	}
 
@@ -524,14 +574,24 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	// seeds from a demand-conserving point near the previous optimum. This
 	// is what makes epoch changes cheap — the round after a join or drain
 	// re-converges from the old split instead of from the uniform start.
+	// Cohorted rounds fold the per-client history into cohort rows (and
+	// per-client duals into demand-weighted cohort duals) first.
 	var warmMu []float64
 	if !r.cfg.ColdStart {
-		spec.Warm, warmMu = r.warmStart(requests, infos, prob)
+		warm, mu := r.warmStart(requests, infos, prob)
+		if grouping != nil && warm != nil {
+			warm = grouping.AggregateRows(warm)
+			if mu != nil {
+				mu = grouping.AggregateDuals(mu)
+			}
+		}
+		solveSpec.Warm, warmMu = warm, mu
 	}
 
-	// 3. Install the round on every replica.
+	// 3. Install the round on every replica (the reduced spec when
+	// cohorting is active — participants never see raw client rows).
 	if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, i int) error {
-		_, err := r.sendReplica(ctx, infos[i].Addr, MsgRoundStart, spec)
+		_, err := r.sendReplica(ctx, infos[i].Addr, MsgRoundStart, solveSpec)
 		return err
 	}); err != nil {
 		return nil, err
@@ -559,12 +619,12 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}
 	rd := &engine.Round{
 		Seq:          round,
-		Prob:         prob,
+		Prob:         solveProb,
 		ReplicaAddrs: replicaAddrs,
-		ClientAddrs:  spec.ClientAddrs,
+		ClientAddrs:  solveSpec.ClientAddrs,
 		MaxIters:     r.cfg.MaxIters,
 		Tol:          r.cfg.Tol,
-		Warm:         spec.Warm,
+		Warm:         solveSpec.Warm,
 		WarmMu:       warmMu,
 		Pool:         r.pool,
 		Par:          r.par,
@@ -573,6 +633,16 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	assignment, iterations, err := driver.Run(ctx, alg, rd)
 	if err != nil {
 		return nil, err
+	}
+
+	// Disaggregate a cohorted result back to per-client rows before
+	// anything downstream sees it: install, notification, last-good
+	// history, and the report all operate at raw client granularity.
+	if grouping != nil {
+		assignment, err = grouping.Disaggregate(assignment)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// 5. Install the final plan on replicas and notify clients.
@@ -595,10 +665,21 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	// autoscaler's pricing signal.
 	var mus map[string]float64
 	if dr, ok := alg.(engine.DualReporter); ok {
-		if duals := dr.Duals(); len(duals) == len(spec.ClientAddrs) {
-			mus = make(map[string]float64, len(duals))
-			for i, addr := range spec.ClientAddrs {
-				mus[addr] = duals[i]
+		if duals := dr.Duals(); len(duals) == len(solveSpec.ClientAddrs) {
+			mus = make(map[string]float64, len(spec.ClientAddrs))
+			if grouping != nil {
+				// μ is a per-unit congestion price: every member of a
+				// cohort inherits its cohort's dual, so the next round's
+				// warm duals cover the full client set.
+				for k, v := range duals {
+					for _, c := range grouping.Members(k) {
+						mus[spec.ClientAddrs[c]] = v
+					}
+				}
+			} else {
+				for i, addr := range spec.ClientAddrs {
+					mus[addr] = duals[i]
+				}
 			}
 		}
 	}
@@ -609,7 +690,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}
 	r.mu.Unlock()
 
-	return &RoundReport{
+	report := &RoundReport{
 		Round:        round,
 		Algorithm:    r.cfg.Algorithm.String(),
 		Iterations:   iterations,
@@ -618,10 +699,15 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		ClientAddrs:  spec.ClientAddrs,
 		Assignment:   assignment,
 		Objective:    prob.Cost(assignment),
-		WarmStarted:  spec.Warm != nil,
+		WarmStarted:  solveSpec.Warm != nil,
 		Residuals:    trace.residuals,
 		Costs:        trace.costs,
-	}, nil
+	}
+	if grouping != nil {
+		report.Cohorts = grouping.K()
+		report.CohortRatio = grouping.Ratio()
+	}
+	return report, nil
 }
 
 // warmStart builds the round's warm-start matrix (and, when the previous

@@ -134,6 +134,78 @@ func GeoTopology(r *sim.Rand, clients, replicas int, fracFar float64) *Topology 
 	return t
 }
 
+// RegionalTopology builds the client-scale wide-area variant: clients live
+// in one of `regions` geographic regions, and every client in a region
+// shares its region's latency vector up to a small per-client jitter
+// (±2% of T, never enough to cross the feasibility bound). Region vectors
+// follow the GeoTopology shape — one close home replica, most links
+// moderate, a fracFar fraction beyond the latency bound. This is the
+// structure that makes cohort aggregation effective: millions of clients
+// quantize to a few hundred (region, latency-class) cohorts, exactly the
+// geographic demand aggregation of energy-aware CDN load balancing.
+func RegionalTopology(r *sim.Rand, clients, replicas, regions int, fracFar float64) *Topology {
+	if regions <= 0 {
+		regions = 1
+	}
+	t := &Topology{
+		ClientNames:   names("client", clients),
+		ReplicaNames:  names("replica", replicas),
+		LatencySec:    make([][]float64, clients),
+		BandwidthMBps: make([]float64, replicas),
+	}
+	for n := range t.BandwidthMBps {
+		t.BandwidthMBps[n] = DefaultBandwidthMBps
+	}
+	maxT := DefaultMaxLatency.Seconds()
+	// Draw one latency vector per region, keeping at least two feasible
+	// links so no region is pinned to a single replica.
+	regionLat := make([][]float64, regions)
+	for g := range regionLat {
+		row := make([]float64, replicas)
+		home := r.Intn(replicas)
+		for n := range row {
+			switch {
+			case n == home:
+				row[n] = r.Range(0.05*maxT, 0.3*maxT)
+			case r.Float64() < fracFar && feasibleIn(row[:n], maxT) > 1:
+				row[n] = r.Range(2*maxT, 10*maxT) // infeasible
+			default:
+				row[n] = r.Range(0.4*maxT, 0.93*maxT)
+			}
+		}
+		regionLat[g] = row
+	}
+	// Clients cycle through regions (deterministic striping keeps region
+	// populations balanced at any scale) and jitter their region's vector.
+	// Feasible links stay feasible (0.93·T + 0.02·T < T) and infeasible
+	// ones stay infeasible (≥ 2·T − 0.02·T > T).
+	for c := range t.LatencySec {
+		base := regionLat[c%regions]
+		row := make([]float64, replicas)
+		for n, l := range base {
+			row[n] = l + r.Range(-0.02*maxT, 0.02*maxT)
+			if row[n] < 0 {
+				row[n] = 0
+			}
+		}
+		t.LatencySec[c] = row
+	}
+	return t
+}
+
+// feasibleIn counts entries of a partially-built latency row within the
+// bound (zero-valued tail entries are not yet drawn, so only the prefix is
+// passed in).
+func feasibleIn(prefix []float64, maxT float64) int {
+	count := 0
+	for _, l := range prefix {
+		if l > 0 && l <= maxT {
+			count++
+		}
+	}
+	return count
+}
+
 // replicasWithin counts replicas currently within the latency bound for
 // client c — used to keep every client with at least two feasible choices.
 func replicasWithin(t *Topology, c int) int {

@@ -171,3 +171,55 @@ func TestDefaultsMatchPaper(t *testing.T) {
 		t.Fatalf("DefaultMaxLatency = %v, want 1.8ms", DefaultMaxLatency)
 	}
 }
+
+func TestRegionalTopologyStructure(t *testing.T) {
+	r := sim.NewRand(11)
+	top := RegionalTopology(r, 200, 8, 10, 0.3)
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxT := DefaultMaxLatency.Seconds()
+	// Every client keeps at least one feasible link, and clients of the
+	// same region (striped c % regions) share a feasibility mask: jitter
+	// is too small to cross the bound.
+	maskOf := func(c int) string {
+		key := make([]byte, 8)
+		for n, l := range top.LatencySec[c] {
+			if l <= maxT {
+				key[n] = 1
+			}
+		}
+		return string(key)
+	}
+	infeasible := 0
+	for c := 0; c < 200; c++ {
+		feasible := 0
+		for _, l := range top.LatencySec[c] {
+			if l <= maxT {
+				feasible++
+			} else {
+				infeasible++
+			}
+		}
+		if feasible == 0 {
+			t.Fatalf("client %d has no feasible replica", c)
+		}
+		if got, want := maskOf(c), maskOf(c%10); got != want {
+			t.Fatalf("client %d mask %q differs from its region's %q", c, got, want)
+		}
+	}
+	if infeasible == 0 {
+		t.Fatal("regional topology drew no infeasible links (fracFar 0.3)")
+	}
+	// Distinct latency values within a region (jitter applied).
+	if top.LatencySec[0][0] == top.LatencySec[10][0] {
+		t.Fatal("clients of one region share exact latencies; jitter missing")
+	}
+}
+
+func TestRegionalTopologyZeroRegions(t *testing.T) {
+	top := RegionalTopology(sim.NewRand(1), 5, 3, 0, 0.3)
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"edr/internal/model"
 )
@@ -20,6 +21,12 @@ type Problem struct {
 	// MaxLatency is T, the user-defined maximum tolerable latency
 	// (seconds). Replicas with l_{c,n} > T may not serve client c.
 	MaxLatency float64
+
+	// maskMu guards mask, the cached feasibility matrix Allowed() serves.
+	// Latency and MaxLatency must not change after the first Allowed()
+	// call unless InvalidateMask is called in between.
+	maskMu sync.Mutex
+	mask   [][]bool
 }
 
 // Validate checks structural and numeric consistency.
@@ -62,16 +69,36 @@ func (p *Problem) C() int { return len(p.Demands) }
 func (p *Problem) N() int { return p.System.N() }
 
 // Allowed returns the latency-feasibility mask: Allowed()[c][n] reports
-// whether replica n may serve client c (l_{c,n} ≤ T).
+// whether replica n may serve client c (l_{c,n} ≤ T). The mask is built
+// once and cached — projection sweeps and solver inits call this every
+// round, and at client scale rebuilding |C|×|N| booleans per call
+// dominates the allocation profile. Callers must treat the result as
+// read-only; mutate Latency only before the first call or after
+// InvalidateMask.
 func (p *Problem) Allowed() [][]bool {
-	mask := make([][]bool, p.C())
-	for c := range mask {
-		mask[c] = make([]bool, p.N())
-		for j := range mask[c] {
-			mask[c][j] = p.Latency[c][j] <= p.MaxLatency
+	p.maskMu.Lock()
+	defer p.maskMu.Unlock()
+	if p.mask == nil {
+		mask := make([][]bool, p.C())
+		cells := make([]bool, p.C()*p.N())
+		for c := range mask {
+			mask[c], cells = cells[:p.N():p.N()], cells[p.N():]
+			for j := range mask[c] {
+				mask[c][j] = p.Latency[c][j] <= p.MaxLatency
+			}
 		}
+		p.mask = mask
 	}
-	return mask
+	return p.mask
+}
+
+// InvalidateMask drops the cached feasibility mask. Call it after mutating
+// Latency or MaxLatency on a Problem that may already have served
+// Allowed() (e.g. probgen folding a placement map into the latencies).
+func (p *Problem) InvalidateMask() {
+	p.maskMu.Lock()
+	p.mask = nil
+	p.maskMu.Unlock()
 }
 
 // Cost evaluates the global objective E_g at assignment matrix x.

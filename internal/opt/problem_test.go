@@ -192,3 +192,42 @@ func TestCostGradientDelegation(t *testing.T) {
 		t.Fatalf("Energy = %g", e)
 	}
 }
+
+func TestAllowedCachedAndInvalidated(t *testing.T) {
+	p := testProblem(t, []float64{1, 2}, []float64{5, 5})
+	m1 := p.Allowed()
+	if !m1[0][0] || !m1[1][1] {
+		t.Fatalf("all-feasible instance masked: %v", m1)
+	}
+	if m2 := p.Allowed(); &m2[0][0] != &m1[0][0] {
+		t.Fatal("Allowed rebuilt the mask on a second call")
+	}
+	// Mutating the latencies without invalidation keeps serving the stale
+	// (documented-read-only) mask; InvalidateMask rebuilds it.
+	p.Latency[0][1] = 10 * p.MaxLatency
+	if m := p.Allowed(); !m[0][1] {
+		t.Fatal("mask rebuilt without InvalidateMask")
+	}
+	p.InvalidateMask()
+	m3 := p.Allowed()
+	if m3[0][1] {
+		t.Fatal("InvalidateMask did not refresh the mask")
+	}
+	if !m3[0][0] || !m3[1][0] || !m3[1][1] {
+		t.Fatalf("unrelated entries flipped: %v", m3)
+	}
+}
+
+func TestAllowedConcurrent(t *testing.T) {
+	p := testProblem(t, []float64{1, 2, 3}, []float64{5, 5, 5, 5})
+	done := make(chan [][]bool, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- p.Allowed() }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if m := <-done; &m[0][0] != &first[0][0] {
+			t.Fatal("concurrent Allowed calls produced distinct masks")
+		}
+	}
+}

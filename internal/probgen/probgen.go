@@ -28,6 +28,12 @@ type Spec struct {
 	// Geo switches from single-cluster to wide-area topology with
 	// latency-infeasible links.
 	Geo bool
+	// Regions, when positive, switches to the region-structured wide-area
+	// topology (netsim.RegionalTopology): clients share their region's
+	// latency vector up to a small jitter, the structure cohort
+	// aggregation (internal/cohort) compresses 10k–1M raw clients down to
+	// a few hundred virtual ones. Takes precedence over Geo.
+	Regions int
 	// LossyFraction, when positive, draws a packet-loss model with that
 	// fraction of congested links (see netsim.UniformLoss) and folds
 	// links above the loss tolerance into the feasibility mask — the
@@ -50,9 +56,12 @@ func New(r *sim.Rand, spec Spec) (*opt.Problem, error) {
 		return nil, fmt.Errorf("probgen: %d prices for %d replicas", len(prices), spec.Replicas)
 	}
 	var top *netsim.Topology
-	if spec.Geo {
+	switch {
+	case spec.Regions > 0:
+		top = netsim.RegionalTopology(r, spec.Clients, spec.Replicas, spec.Regions, 0.3)
+	case spec.Geo:
 		top = netsim.GeoTopology(r, spec.Clients, spec.Replicas, 0.3)
-	} else {
+	default:
 		top = netsim.ClusterTopology(r, spec.Clients, spec.Replicas)
 	}
 	replicas := make([]model.Replica, spec.Replicas)
@@ -159,6 +168,7 @@ func FromRequests(r *sim.Rand, batch []workload.Request, replicas int, prices []
 				}
 			}
 		}
+		prob.InvalidateMask()
 	}
 	return prob, nil
 }

@@ -260,3 +260,26 @@ func TestLossyFractionMasksLinks(t *testing.T) {
 		}
 	}
 }
+
+func TestNewRegionalClientScale(t *testing.T) {
+	// 10k ungrouped clients in 50 regions — the cohort layer's input shape.
+	prob, err := New(sim.NewRand(3), Spec{Clients: 10000, Replicas: 10, Regions: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.C() != 10000 || prob.N() != 10 {
+		t.Fatalf("dims %dx%d", prob.C(), prob.N())
+	}
+	mask := prob.Allowed()
+	for c := 0; c < prob.C(); c++ {
+		feasible := 0
+		for n := 0; n < prob.N(); n++ {
+			if mask[c][n] {
+				feasible++
+			}
+		}
+		if feasible == 0 {
+			t.Fatalf("client %d has no feasible replica", c)
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 //	edr_round_duration_seconds             histogram, wall time per round
 //	edr_round_iterations                   histogram, distributed iterations per round
 //	edr_round_objective                    gauge, energy cost of the last round
+//	edr_round_cohorts                      gauge, virtual clients of the last round (0 = ungrouped)
+//	edr_round_cohort_ratio                 gauge, |C|/|K| compression of the last round
 //	edr_ring_joined_total{member}          counter, members added to the view
 //	edr_ring_removed_total{member}         counter, members removed from the view
 //	edr_membership_drained_total{member}   counter, members drained by epochs
@@ -35,11 +37,13 @@ type Collector struct {
 	roundDuration *metrics.Histogram
 	roundIters    *metrics.Histogram
 
-	mu            sync.Mutex
-	rounds        []RoundCompleted // ring buffer, oldest first
-	keep          int
-	lastObjective float64
-	lastEpoch     int
+	mu              sync.Mutex
+	rounds          []RoundCompleted // ring buffer, oldest first
+	keep            int
+	lastObjective   float64
+	lastEpoch       int
+	lastCohorts     int
+	lastCohortRatio float64
 }
 
 // DefaultRoundLog is how many recent rounds /debug/rounds retains when
@@ -65,6 +69,18 @@ func NewCollector(keep int) *Collector {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			return c.lastObjective
+		})
+	reg.Gauge("edr_round_cohorts",
+		"Virtual clients (cohorts) of the most recent round; 0 when ungrouped.", nil, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.lastCohorts)
+		})
+	reg.Gauge("edr_round_cohort_ratio",
+		"Client compression ratio |C|/|K| of the most recent round; 0 when ungrouped.", nil, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.lastCohortRatio
 		})
 	reg.Gauge("edr_membership_epoch",
 		"Sequence number of the most recently committed cluster epoch.", nil, func() float64 {
@@ -101,6 +117,8 @@ func (c *Collector) Handle(e Event) {
 		c.roundIters.Observe(float64(ev.Iterations))
 		c.mu.Lock()
 		c.lastObjective = ev.Objective
+		c.lastCohorts = ev.Cohorts
+		c.lastCohortRatio = ev.CohortRatio
 		c.rounds = append(c.rounds, ev)
 		if len(c.rounds) > c.keep {
 			c.rounds = c.rounds[len(c.rounds)-c.keep:]

@@ -32,6 +32,12 @@ type RoundCompleted struct {
 	Replicas int `json:"replicas"`
 	// Objective is the total energy cost of the final assignment.
 	Objective float64 `json:"objective"`
+	// Cohorts is the number of virtual clients the round solved over when
+	// cohort aggregation was active; 0 means the round ran ungrouped.
+	Cohorts int `json:"cohorts,omitempty"`
+	// CohortRatio is the compression ratio |C|/|K| of the grouping
+	// (0 when ungrouped).
+	CohortRatio float64 `json:"cohort_ratio,omitempty"`
 	// Duration is the wall time of the whole round (including restarts).
 	Duration time.Duration `json:"duration_ns"`
 	// Degraded reports a last-known-good fallback round.

@@ -190,8 +190,14 @@ func Window(trace []Request, start time.Time, width time.Duration, count int) []
 	}
 	windows := make([][]Request, count)
 	for _, req := range trace {
+		if req.Arrival.Before(start) {
+			// Integer division truncates toward zero, so a pre-start
+			// arrival in (start−width, start) would otherwise land in
+			// window 0 instead of being dropped.
+			continue
+		}
 		idx := int(req.Arrival.Sub(start) / width)
-		if idx >= 0 && idx < count {
+		if idx < count {
 			windows[idx] = append(windows[idx], req)
 		}
 	}

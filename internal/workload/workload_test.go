@@ -250,3 +250,59 @@ func TestTotalMB(t *testing.T) {
 		t.Fatalf("TotalMB(nil) = %g", got)
 	}
 }
+
+func TestWindowBoundaryEdges(t *testing.T) {
+	start := sim.Epoch
+	mk := func(offset time.Duration) Request {
+		return Request{Arrival: start.Add(offset)}
+	}
+	trace := []Request{
+		mk(-30 * time.Second), // before the trace: dropped, not window 0
+		mk(-time.Nanosecond),  // one tick early: dropped
+		mk(0),                 // exactly on the start edge: window 0
+		mk(time.Minute),       // exactly on a window edge: opens window 1
+		mk(2*time.Minute - 1), // last tick of window 1
+		mk(3 * time.Minute),   // exactly on the end edge: past the last window
+		mk(10 * time.Minute),  // far past the end: dropped
+	}
+	windows := Window(trace, start, time.Minute, 3)
+	if len(windows[0]) != 1 || !windows[0][0].Arrival.Equal(start) {
+		t.Fatalf("window 0 = %d requests (pre-start arrivals must not fold in)", len(windows[0]))
+	}
+	if len(windows[1]) != 2 {
+		t.Fatalf("window 1 = %d requests, want 2 (edge arrival opens the window)", len(windows[1]))
+	}
+	if len(windows[2]) != 0 {
+		t.Fatalf("window 2 = %d requests, want 0", len(windows[2]))
+	}
+}
+
+func TestWindowEmptyTrace(t *testing.T) {
+	windows := Window(nil, sim.Epoch, time.Minute, 4)
+	if len(windows) != 4 {
+		t.Fatalf("windows = %d, want 4 empty windows", len(windows))
+	}
+	for i, w := range windows {
+		if len(w) != 0 {
+			t.Fatalf("window %d not empty", i)
+		}
+	}
+}
+
+func TestDemandsBoundaries(t *testing.T) {
+	// Zero clients: an empty (non-nil) vector, out-of-range requests dropped.
+	d := Demands([]Request{{Client: 0, SizeMB: 5}}, 0)
+	if len(d) != 0 {
+		t.Fatalf("Demands(_, 0) has %d entries", len(d))
+	}
+	// Empty batch: all-zero vector of the right length.
+	d = Demands(nil, 3)
+	if len(d) != 3 || d[0] != 0 || d[1] != 0 || d[2] != 0 {
+		t.Fatalf("Demands(nil, 3) = %v", d)
+	}
+	// Negative client index ignored rather than panicking.
+	d = Demands([]Request{{Client: -1, SizeMB: 5}, {Client: 1, SizeMB: 2}}, 2)
+	if d[0] != 0 || d[1] != 2 {
+		t.Fatalf("Demands with negative index = %v", d)
+	}
+}
