@@ -49,6 +49,14 @@ type Solver struct {
 	// across cores: > 0 pins the worker count, 0 sizes from GOMAXPROCS,
 	// < 0 forces serial. Parallel and serial runs are bit-identical.
 	Parallelism int
+	// Sparse selects the packed sparse kernels (CSC columns, packed
+	// proximal targets). The default, opt.SparseAuto, dispatches on the
+	// instance: masked instances run sparse, fully-feasible ones keep the
+	// dense kernels bit-for-bit. On masked instances the packed loop's
+	// iterates match the dense loop bitwise (both proximal evals sum over
+	// the support only); the final feasibility polish runs a different
+	// projector, so end objectives agree to tolerance rather than bitwise.
+	Sparse opt.SparseMode
 }
 
 // New returns an ADMM solver with defaults.
@@ -64,6 +72,9 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	}
 	if err := opt.CheckFeasible(prob); err != nil {
 		return nil, err
+	}
+	if sp := prob.Sparsity(); s.Sparse.Enabled(sp) {
+		return s.solveSparse(prob, sp)
 	}
 	c, n := prob.C(), prob.N()
 	rho := s.Rho
@@ -188,7 +199,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 			x[i][j] = z[j][i]
 		}
 	}
-	if err := opt.ProjectFeasiblePar(prob, x, 1e-6, par); err != nil {
+	if err := opt.ProjectFeasibleMode(prob, x, 1e-6, par, s.Sparse); err != nil {
 		return nil, fmt.Errorf("admm: final polish: %w", err)
 	}
 	res.Assignment = x
@@ -239,10 +250,17 @@ func ProximalColumn(rep model.Replica, allowed []bool, caps, target []float64, r
 		if err := opt.ProjectMaskedCappedSimplex(probe, caps, allowed, S); err != nil {
 			return 0, err
 		}
+		// Masked entries contribute only the constant (0 − target_i)² to the
+		// distance — irrelevant to the argmin, but large enough to drown the
+		// h1/h2 comparison in rounding noise once the ternary interval is
+		// small. Summing over the support keeps the comparison exact and
+		// makes this eval bitwise identical to ProximalColumnPacked's.
 		d := 0.0
 		for i := 0; i < c; i++ {
-			diff := probe[i] - target[i]
-			d += diff * diff
+			if allowed[i] {
+				diff := probe[i] - target[i]
+				d += diff * diff
+			}
 		}
 		return rep.Cost(S) + rho/2*d, nil
 	}

@@ -221,10 +221,15 @@ func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, 
 }
 
 // serverState caches the replica's latency mask and per-client caps so a
-// round's repeated proximal solves skip rebuilding them.
+// round's repeated proximal solves skip rebuilding them. On masked
+// instances the dense mask is replaced by the packed support (clients +
+// packed caps) and the proximal runs on the packed kernel.
 type serverState struct {
 	allowed []bool
 	caps    []float64
+
+	clients []int     // packed ascending client ids (nil on full instances)
+	capsPk  []float64 // caps aligned with clients
 }
 
 // serverHalf answers MsgProx on a participant replica.
@@ -240,11 +245,18 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		return nil, fmt.Errorf("admm: round %d: %d targets for %d clients", body.Round, len(body.Target), c)
 	}
 	st, err := sr.State("ADMM", func() (any, error) {
-		mask := sr.Prob.Allowed()
-		s := &serverState{
-			allowed: make([]bool, c),
-			caps:    make([]float64, c),
+		s := &serverState{}
+		if sp := sr.Prob.Sparsity(); opt.SparseAuto.Enabled(sp) {
+			s.clients = sp.RowIdx[sp.ColStart[sr.Col]:sp.ColStart[sr.Col+1]:sp.ColStart[sr.Col+1]]
+			s.capsPk = make([]float64, len(s.clients))
+			for idx, i := range s.clients {
+				s.capsPk[idx] = sr.Prob.Demands[i]
+			}
+			return s, nil
 		}
+		mask := sr.Prob.Allowed()
+		s.allowed = make([]bool, c)
+		s.caps = make([]float64, c)
 		for i := 0; i < c; i++ {
 			s.allowed[i] = mask[i][sr.Col]
 			s.caps[i] = sr.Prob.Demands[i]
@@ -255,8 +267,23 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		return nil, err
 	}
 	ps := st.(*serverState)
-	// ProximalColumn is stateless over read-only inputs, so concurrent
-	// solves need no lock.
+	// Both proximal kernels are stateless over read-only inputs, so
+	// concurrent solves need no lock.
+	if ps.clients != nil {
+		targetPk := make([]float64, len(ps.clients))
+		for idx, i := range ps.clients {
+			targetPk[idx] = body.Target[i]
+		}
+		packed, err := ProximalColumnPacked(sr.Prob.System.Replicas[sr.Col], ps.capsPk, targetPk, body.Rho, 40)
+		if err != nil {
+			return nil, err
+		}
+		col := make([]float64, c)
+		for idx, i := range ps.clients {
+			col[i] = packed[idx]
+		}
+		return ProxReply{Column: col}, nil
+	}
 	col, err := ProximalColumn(sr.Prob.System.Replicas[sr.Col], ps.allowed, ps.caps, body.Target, body.Rho, 40)
 	if err != nil {
 		return nil, err

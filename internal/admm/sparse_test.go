@@ -1,0 +1,133 @@
+package admm
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/model"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+func maskedInstance(t *testing.T, r *sim.Rand, clients, replicas int) *opt.Problem {
+	t.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: clients, Replicas: replicas, Geo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prob.Sparsity().Full {
+			return prob
+		}
+	}
+	t.Fatal("no masked instance in 50 draws")
+	return nil
+}
+
+func TestProximalColumnPackedMatchesDense(t *testing.T) {
+	// The packed proximal drops only constant (masked-entry) penalty terms
+	// from the dense evaluation, so the two ternary searches minimize the
+	// same function and land on the same column up to the 1-D tolerance.
+	r := sim.NewRand(73)
+	for trial := 0; trial < 30; trial++ {
+		c := r.IntBetween(1, 10)
+		rep := model.NewReplica("r", r.Range(1, 20))
+		rep.Bandwidth = r.Range(20, 120)
+		allowed := make([]bool, c)
+		caps := make([]float64, c)
+		target := make([]float64, c)
+		packedCaps := []float64{}
+		packedTarget := []float64{}
+		idx := []int{}
+		for i := 0; i < c; i++ {
+			allowed[i] = r.Float64() < 0.7
+			caps[i] = r.Range(0, 30)
+			target[i] = r.Range(-10, 30)
+			if allowed[i] {
+				packedCaps = append(packedCaps, caps[i])
+				packedTarget = append(packedTarget, target[i])
+				idx = append(idx, i)
+			}
+		}
+		rho := r.Range(0.01, 2)
+		dense, err := ProximalColumn(rep, allowed, caps, target, rho, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := ProximalColumnPacked(rep, packedCaps, packedTarget, rho, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, i := range idx {
+			if math.Abs(packed[p]-dense[i]) > 1e-6*(1+math.Abs(dense[i])) {
+				t.Fatalf("trial %d: packed[%d]=%v, dense[%d]=%v", trial, p, packed[p], i, dense[i])
+			}
+		}
+		for i, v := range dense {
+			if !allowed[i] && v != 0 {
+				t.Fatalf("trial %d: dense wrote masked client %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestADMMSparseMatchesDenseMasked(t *testing.T) {
+	r := sim.NewRand(79)
+	for trial := 0; trial < 4; trial++ {
+		prob := maskedInstance(t, r, 6, 4)
+		dense, err := (&Solver{Sparse: opt.SparseOff}).Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		sparse, err := (&Solver{Sparse: opt.SparseAuto}).Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d sparse: %v", trial, err)
+		}
+		if err := solver.Verify(prob, sparse, 1e-4); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gap := math.Abs(dense.Objective - sparse.Objective)
+		if gap > 1e-9*(1+math.Abs(dense.Objective)) {
+			t.Fatalf("trial %d: objective gap %g (dense %v sparse %v)",
+				trial, gap, dense.Objective, sparse.Objective)
+		}
+	}
+}
+
+func TestADMMSparseParallelSerialBitForBit(t *testing.T) {
+	r := sim.NewRand(83)
+	prob := maskedInstance(t, r, 20, 5)
+	serial, err := (&Solver{Sparse: opt.SparseForce, Parallelism: -1, MaxIters: 200}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Solver{Sparse: opt.SparseForce, Parallelism: 4, MaxIters: 200}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", serial.Iterations, parallel.Iterations)
+	}
+	for c := range serial.Assignment {
+		for n := range serial.Assignment[c] {
+			if serial.Assignment[c][n] != parallel.Assignment[c][n] {
+				t.Fatalf("assignment differs at [%d][%d]", c, n)
+			}
+		}
+	}
+}
+
+func TestADMMSparseCommCountsNNZ(t *testing.T) {
+	r := sim.NewRand(89)
+	prob := maskedInstance(t, r, 8, 4)
+	nnz := prob.Sparsity().NNZ()
+	res, err := (&Solver{Sparse: opt.SparseForce, MaxIters: 60}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Comm.Scalars/res.Iterations, 2*nnz; got != want {
+		t.Fatalf("scalars/iteration = %d, want %d (2·nnz)", got, want)
+	}
+}

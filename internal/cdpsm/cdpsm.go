@@ -65,6 +65,14 @@ type Solver struct {
 	// < 0 forces serial. Parallel and serial runs are bit-identical —
 	// each agent writes only its own estimate.
 	Parallelism int
+	// Sparse selects the packed sparse kernels (CSR estimates, incremental
+	// column sums in the local projections). The default, opt.SparseAuto,
+	// dispatches on the instance: masked instances run sparse, fully-
+	// feasible ones keep the dense kernels bit-for-bit. opt.SparseOff is
+	// the dense baseline; opt.SparseForce runs sparse everywhere
+	// (tolerance-equivalent on full instances — the incremental sums
+	// change floating-point summation order).
+	Sparse opt.SparseMode
 }
 
 // Topology is a CDPSM gossip pattern.
@@ -198,6 +206,9 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	if err := opt.CheckFeasible(prob); err != nil {
 		return nil, err
 	}
+	if sp := prob.Sparsity(); s.Sparse.Enabled(sp) {
+		return s.solveSparse(prob, sp)
+	}
 	nAgents := prob.N()
 	step, maxIters, tol, weights, sweeps, err := s.params(nAgents)
 	if err != nil {
@@ -320,7 +331,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	}
 	final := opt.NewMatrix(c, n)
 	uniformMean(final, uw, mats)
-	if err := opt.ProjectFeasiblePar(prob, final, 1e-6, par); err != nil {
+	if err := opt.ProjectFeasibleMode(prob, final, 1e-6, par, s.Sparse); err != nil {
 		return nil, fmt.Errorf("cdpsm: final polish: %w", err)
 	}
 	res.Assignment = final

@@ -47,27 +47,42 @@ func (b *StepReply) UnmarshalBinary(data []byte) error {
 }
 
 func (b EstimateBody) MarshalBinary() ([]byte, error) {
-	return transport.AppendUint32(nil, uint32(b.Round)), nil
+	out := transport.AppendUint32(nil, uint32(b.Round))
+	return transport.AppendUint32(out, uint32(int32(b.Base))), nil
 }
 
 func (b *EstimateBody) UnmarshalBinary(data []byte) error {
-	round, _, err := transport.ReadUint32(data)
+	round, data, err := transport.ReadUint32(data)
 	if err != nil {
 		return err
 	}
-	b.Round = int(round)
+	base, _, err := transport.ReadUint32(data)
+	if err != nil {
+		return err
+	}
+	b.Round, b.Base = int(round), int(int32(base))
 	return nil
 }
 
+// EstimateReply rides the kinded matrix frames of transport v2: the
+// chooser picks the cheapest of full, sparse (masked instances) and delta
+// (consecutive-iteration pulls) layouts; Base supplies the delta
+// reference on both sides and is itself never shipped.
 func (b EstimateReply) MarshalBinary() ([]byte, error) {
-	return transport.AppendMatrix(nil, b.Estimate), nil
+	out := transport.AppendUint32(nil, uint32(int32(b.Iter)))
+	return transport.AppendMatrixKinded(out, b.Estimate, b.Base), nil
 }
 
 func (b *EstimateReply) UnmarshalBinary(data []byte) error {
-	m, _, err := transport.ReadMatrix(data)
+	iter, data, err := transport.ReadUint32(data)
 	if err != nil {
 		return err
 	}
+	m, _, err := transport.ReadMatrixKinded(data, b.Base)
+	if err != nil {
+		return err
+	}
+	b.Iter = int(int32(iter))
 	b.Estimate = m
 	return nil
 }

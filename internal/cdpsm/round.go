@@ -38,14 +38,27 @@ type StepReply struct {
 	Moved float64 `json:"moved"`
 }
 
-// EstimateBody requests a replica's committed estimate.
+// EstimateBody requests a replica's committed estimate. Base, when ≥ 0,
+// is the iteration id of the estimate the requester already holds from
+// this replica — the server may then answer with a delta frame against
+// that base instead of a full matrix. Base −1 requests a standalone frame.
 type EstimateBody struct {
 	Round int `json:"round"`
+	Base  int `json:"base"`
 }
 
-// EstimateReply carries the committed estimate (clients × replicas).
+// EstimateReply carries the committed estimate (clients × replicas) and
+// the iteration id it was committed at (the base id for the requester's
+// next delta pull). Base is decode/encode context, never serialized
+// itself: the server sets it to the matrix it diffed against (enabling a
+// delta frame) and the requester pre-sets it to its cached copy of the
+// same matrix before Decode, per the transport convention that DecodeBody
+// unmarshals into the caller's value in place.
 type EstimateReply struct {
 	Estimate [][]float64 `json:"estimate"`
+	Iter     int         `json:"iter"`
+
+	Base [][]float64 `json:"-"`
 }
 
 // CommitBody promotes a replica's staged estimate.
@@ -141,7 +154,7 @@ func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, 
 	err := d.Exec(ctx, a.rd, engine.Exchange{
 		Verb:  MsgEstimate,
 		Class: engine.Replicas,
-		Body:  func(j int) any { return EstimateBody{Round: a.rd.Seq} },
+		Body:  func(j int) any { return EstimateBody{Round: a.rd.Seq, Base: -1} },
 		Fold: func(j int, r engine.Reply) error {
 			var reply EstimateReply
 			if err := r.Decode(&reply); err != nil {
@@ -195,11 +208,22 @@ func checkShape(x [][]float64, c, n int) error {
 }
 
 // serverState is one replica's CDPSM view of a round: the committed
-// estimate its peers may pull, and the staged successor awaiting commit.
+// estimate its peers may pull, the staged successor awaiting commit, the
+// previous committed estimate kept as the delta base for peers one
+// iteration behind, and a cache of each peer's last pulled estimate (the
+// requester-side half of the delta protocol). Committed matrices are
+// replaced wholesale on commit and never mutated in place, so serving
+// prev as a marshal-time delta base outside the lock is safe.
 type serverState struct {
-	mu        sync.Mutex
-	committed [][]float64
-	staged    [][]float64
+	mu            sync.Mutex
+	committed     [][]float64
+	committedIter int
+	prev          [][]float64
+	prevIter      int
+	staged        [][]float64
+	stagedIter    int
+	peerEst       map[string][][]float64
+	peerIter      map[string]int
 }
 
 // serverHalf answers the three CDPSM verbs on a participant replica.
@@ -238,6 +262,7 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		return handleStep(ctx, &body, sr)
 	case MsgEstimate:
 		var body EstimateBody
+		body.Base = -1 // absent in legacy JSON bodies means "no base held"
 		if err := req.Decode(&body); err != nil {
 			return nil, err
 		}
@@ -247,7 +272,14 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		}
 		st.mu.Lock()
 		defer st.mu.Unlock()
-		return EstimateReply{Estimate: opt.Clone(st.committed)}, nil
+		reply := EstimateReply{Estimate: opt.Clone(st.committed), Iter: st.committedIter}
+		if body.Base >= 0 && st.prev != nil && body.Base == st.prevIter {
+			// The requester holds our previous committed estimate: let the
+			// marshal-time chooser diff against it (full-frame fallback stays
+			// automatic — the chooser only picks delta when it is smallest).
+			reply.Base = st.prev
+		}
+		return reply, nil
 	case MsgCommit:
 		var body CommitBody
 		if err := req.Decode(&body); err != nil {
@@ -262,7 +294,8 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		if st.staged == nil {
 			return nil, fmt.Errorf("cdpsm: commit round %d with no staged estimate", body.Round)
 		}
-		st.committed = st.staged
+		st.prev, st.prevIter = st.committed, st.committedIter
+		st.committed, st.committedIter = st.staged, st.stagedIter
 		st.staged = nil
 		return nil, nil
 	}
@@ -280,6 +313,10 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 	c, n := sr.Prob.C(), sr.Prob.N()
 	st.mu.Lock()
 	own := opt.Clone(st.committed)
+	if st.peerEst == nil {
+		st.peerEst = make(map[string][][]float64)
+		st.peerIter = make(map[string]int)
+	}
 	st.mu.Unlock()
 	estimates := make([][][]float64, 0, len(sr.ReplicaAddrs))
 	estimates = append(estimates, own)
@@ -287,17 +324,31 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 		if addr == sr.Self {
 			continue
 		}
-		resp, err := sr.Peers.Send(ctx, addr, MsgEstimate, EstimateBody{Round: sr.Round})
+		// Declare the iteration id of this peer's last pulled estimate so
+		// the peer can answer with a delta frame against it; decode with
+		// that cached matrix as the base.
+		st.mu.Lock()
+		base := st.peerEst[addr]
+		baseIter := -1
+		if base != nil {
+			baseIter = st.peerIter[addr]
+		}
+		st.mu.Unlock()
+		resp, err := sr.Peers.Send(ctx, addr, MsgEstimate, EstimateBody{Round: sr.Round, Base: baseIter})
 		if err != nil {
 			return StepReply{}, fmt.Errorf("cdpsm: step: fetch estimate from %s: %w", addr, err)
 		}
-		var er EstimateReply
+		er := EstimateReply{Base: base}
 		if err := resp.Decode(&er); err != nil {
 			return StepReply{}, err
 		}
 		if err := checkShape(er.Estimate, c, n); err != nil {
 			return StepReply{}, fmt.Errorf("cdpsm: estimate from %s: %w", addr, err)
 		}
+		st.mu.Lock()
+		st.peerEst[addr] = er.Estimate
+		st.peerIter[addr] = er.Iter
+		st.mu.Unlock()
 		estimates = append(estimates, er.Estimate)
 	}
 
@@ -308,7 +359,17 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 	LocalGradient(sr.Prob, sr.Col, consensus, grad)
 	next := opt.Clone(consensus)
 	opt.AXPY(next, -body.Step, grad)
-	if err := LocalProjectionPar(sr.Prob, sr.Col, 60, sr.Par)(next); err != nil {
+	// Local projection: masked instances run the packed sparse projector
+	// (every estimate in flight is supported on the mask, so gathering
+	// drops only exact zeros); full instances keep the dense Dykstra.
+	if sp := sr.Prob.Sparsity(); opt.SparseAuto.Enabled(sp) {
+		v := sp.Gather(nil, next)
+		pj := newLocalProjector(sr.Prob, sp, sr.Col, sr.Par)
+		if _, err := pj.Project(v, opt.DykstraOptions{MaxSweeps: 60, Tol: 1e-9}); err != nil {
+			return StepReply{}, fmt.Errorf("cdpsm: step projection: %w", err)
+		}
+		sp.Scatter(next, v)
+	} else if err := LocalProjectionPar(sr.Prob, sr.Col, 60, sr.Par)(next); err != nil {
 		return StepReply{}, err
 	}
 
@@ -316,5 +377,6 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 	defer st.mu.Unlock()
 	moved := opt.Dist(next, st.committed)
 	st.staged = next
+	st.stagedIter = body.Iter
 	return StepReply{Moved: moved}, nil
 }

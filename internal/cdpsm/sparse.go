@@ -1,0 +1,188 @@
+package cdpsm
+
+import (
+	"fmt"
+	"math"
+
+	"edr/internal/opt"
+	"edr/internal/solver"
+)
+
+// This file is the packed sparse half of the CDPSM engine: estimates live
+// as CSR-packed vectors over the latency-feasibility support, the consensus
+// and gradient steps touch only the nnz entries, and the local projections
+// run on opt.SparseProjector with incrementally maintained column sums.
+// The in-process solver (solveSparse) and the distributed round handler
+// (round.go) share these kernels.
+
+// newLocalProjector builds agent i's packed local-set projector: every
+// client row plus the agent's own capacity halfspace (other columns are
+// unconstrained in P_i, encoded as +Inf bounds the projector skips in
+// O(1)).
+func newLocalProjector(prob *opt.Problem, sp *opt.Sparsity, agent int, par *opt.Parallel) *opt.SparseProjector {
+	bounds := make([]float64, sp.N)
+	for n := range bounds {
+		bounds[n] = math.Inf(1)
+	}
+	bounds[agent] = prob.System.Replicas[agent].Bandwidth
+	return opt.NewSparseProjector(sp, prob.Demands, bounds, par)
+}
+
+// packedColSum returns Σ_c v_{c,n} of a CSR-packed vector, accumulated in
+// ascending client order (the same order the dense kernels use).
+func packedColSum(sp *opt.Sparsity, n int, v []float64) float64 {
+	s := 0.0
+	for k := sp.ColStart[n]; k < sp.ColStart[n+1]; k++ {
+		s += v[sp.PosCSR[k]]
+	}
+	return s
+}
+
+// sparseGradStep applies agent i's gradient step in place: the local
+// objective E_i depends only on column i, so v loses d·∇E_i only on that
+// column's support.
+func sparseGradStep(prob *opt.Problem, sp *opt.Sparsity, agent int, d float64, v []float64) {
+	load := packedColSum(sp, agent, v)
+	if load < 0 {
+		load = 0
+	}
+	marginal := prob.System.Replicas[agent].MarginalCost(load)
+	for k := sp.ColStart[agent]; k < sp.ColStart[agent+1]; k++ {
+		v[sp.PosCSR[k]] -= d * marginal
+	}
+}
+
+// consensusPacked computes agent i's consensus average over packed
+// estimates into dst — the packed twin of consensusFor.
+func (s *Solver) consensusPacked(i int, weights []float64, vs [][]float64, dst []float64) {
+	n := len(vs)
+	if s.Topology == TopologyRing && n > 2 {
+		opt.VecFill(dst, 0)
+		opt.VecAXPY(dst, 0.25, vs[(i-1+n)%n])
+		opt.VecAXPY(dst, 0.5, vs[i])
+		opt.VecAXPY(dst, 0.25, vs[(i+1)%n])
+		return
+	}
+	opt.VecMean(dst, weights, vs...)
+}
+
+// uniformMeanPacked averages packed estimates with equal weight into dst.
+func uniformMeanPacked(dst []float64, w []float64, vs [][]float64) {
+	for i := range w {
+		w[i] = 1 / float64(len(vs))
+	}
+	opt.VecMean(dst, w, vs...)
+}
+
+// solveSparse is Solve on the packed sparse kernels. Per iteration each
+// agent's consensus, gradient step and local projection cost O(nnz) rather
+// than O(|C|·|N|); agents still write only their own next estimate, so
+// parallel and serial runs stay bit-identical.
+func (s *Solver) solveSparse(prob *opt.Problem, sp *opt.Sparsity) (*solver.Result, error) {
+	nAgents := prob.N()
+	step, maxIters, tol, weights, sweeps, err := s.params(nAgents)
+	if err != nil {
+		return nil, err
+	}
+	nnz := sp.NNZ()
+	par := opt.NewParallel(s.Parallelism).Gate(nnz * nAgents)
+	chunks := par.Chunks(nAgents)
+
+	start, err := prob.UniformStart()
+	if err != nil {
+		return nil, err
+	}
+	vstart := sp.Gather(nil, start)
+
+	ests := make([][]float64, nAgents)
+	next := make([][]float64, nAgents)
+	projs := make([]*opt.SparseProjector, nAgents)
+	for i := range ests {
+		ests[i] = append([]float64(nil), vstart...)
+		next[i] = make([]float64, nnz)
+		// Serial projector per agent: parallelism lives across agents,
+		// matching the dense path.
+		projs[i] = newLocalProjector(prob, sp, i, nil)
+	}
+	popts := opt.DykstraOptions{MaxSweeps: sweeps, Tol: 1e-9}
+	if err := par.ForErr(nAgents, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if _, err := projs[i].Project(ests[i], popts); err != nil {
+				return fmt.Errorf("cdpsm: agent %d: %w", i, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &solver.Result{}
+	conses := make([][]float64, chunks)
+	for ch := range conses {
+		conses[ch] = make([]float64, nnz)
+	}
+	avg := make([]float64, nnz)
+	loads := make([]float64, sp.N)
+	moved := make([]float64, nAgents)
+	uw := make([]float64, nAgents)
+	mats := make([][]float64, nAgents)
+
+	for k := 1; k <= maxIters; k++ {
+		copy(mats, ests)
+		d := step(k)
+		if err := par.ForErr(nAgents, func(chunk, lo, hi int) error {
+			cons := conses[chunk]
+			for i := lo; i < hi; i++ {
+				s.consensusPacked(i, weights, mats, cons)
+				copy(next[i], cons)
+				sparseGradStep(prob, sp, i, d, next[i])
+				if _, err := projs[i].Project(next[i], popts); err != nil {
+					return fmt.Errorf("cdpsm: agent %d: %w", i, err)
+				}
+				moved[i] = opt.VecDist(next[i], ests[i])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		maxMove := 0.0
+		for _, m := range moved {
+			if m > maxMove {
+				maxMove = m
+			}
+		}
+		for i := range ests {
+			copy(ests[i], next[i])
+		}
+		// Communication accounting: sparse estimate frames carry only the
+		// nnz supported scalars.
+		peers := nAgents - 1
+		if s.Topology == TopologyRing && nAgents > 2 {
+			peers = 2
+		}
+		res.Comm.Messages += nAgents * peers
+		res.Comm.Scalars += nAgents * peers * nnz
+		res.Iterations = k
+
+		// History: the objective depends only on column sums, so the
+		// average estimate never needs densifying.
+		uniformMeanPacked(avg, uw, ests)
+		sp.ColSumsInto(loads, avg)
+		res.History = append(res.History, prob.System.CostOfLoads(loads))
+
+		if maxMove <= tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	uniformMeanPacked(avg, uw, ests)
+	final := opt.NewMatrix(prob.C(), prob.N())
+	sp.Scatter(final, avg)
+	if err := opt.ProjectFeasibleSp(prob, final, 1e-6, par); err != nil {
+		return nil, fmt.Errorf("cdpsm: final polish: %w", err)
+	}
+	res.Assignment = final
+	res.Objective = prob.Cost(final)
+	return res, nil
+}

@@ -1,0 +1,158 @@
+package cdpsm
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+// maskedInstance draws a feasible wide-area instance whose latency mask has
+// structural zeros (retrying until it does).
+func maskedInstance(t *testing.T, r *sim.Rand, clients, replicas int) *opt.Problem {
+	t.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: clients, Replicas: replicas, Geo: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prob.Sparsity().Full {
+			return prob
+		}
+	}
+	t.Fatal("no masked instance in 50 draws")
+	return nil
+}
+
+func TestCDPSMAutoOnFullIsDenseBitForBit(t *testing.T) {
+	// On a fully-feasible instance SparseAuto must take the dense path, so
+	// Auto and Off agree bit-for-bit by construction.
+	r := sim.NewRand(31)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 6, Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prob.Sparsity().Full {
+		t.Skip("cluster instance unexpectedly masked")
+	}
+	auto, err := (&Solver{Sparse: opt.SparseAuto}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := (&Solver{Sparse: opt.SparseOff}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Iterations != off.Iterations || auto.Objective != off.Objective {
+		t.Fatalf("Auto (iters=%d obj=%v) != Off (iters=%d obj=%v)",
+			auto.Iterations, auto.Objective, off.Iterations, off.Objective)
+	}
+	for c := range auto.Assignment {
+		for n := range auto.Assignment[c] {
+			if auto.Assignment[c][n] != off.Assignment[c][n] {
+				t.Fatalf("assignment differs at [%d][%d]", c, n)
+			}
+		}
+	}
+}
+
+func TestCDPSMSparseMatchesDenseMasked(t *testing.T) {
+	// Dense and sparse CDPSM run the same iteration on the same local sets;
+	// only the finite-sweep projection iterates differ (the packed projector
+	// restricts the column halfspace to the support). Both runs therefore
+	// land on the same optimum up to solver tolerance.
+	r := sim.NewRand(37)
+	for trial := 0; trial < 4; trial++ {
+		prob := maskedInstance(t, r, 6, 4)
+		dense, err := (&Solver{Sparse: opt.SparseOff}).Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		sparse, err := (&Solver{Sparse: opt.SparseAuto}).Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d sparse: %v", trial, err)
+		}
+		if err := solver.Verify(prob, sparse, 1e-4); err != nil {
+			t.Fatalf("trial %d: sparse result infeasible: %v", trial, err)
+		}
+		gap := math.Abs(dense.Objective - sparse.Objective)
+		if gap > 1e-9*(1+math.Abs(dense.Objective)) {
+			t.Fatalf("trial %d: objective gap %g (dense %v sparse %v)",
+				trial, gap, dense.Objective, sparse.Objective)
+		}
+	}
+}
+
+func TestCDPSMForceOnFullToleranceEquivalent(t *testing.T) {
+	// SparseForce runs the packed kernels even on a full mask; incremental
+	// column sums change FP summation order, so equivalence is tolerance-
+	// bounded rather than bitwise.
+	r := sim.NewRand(41)
+	prob, err := probgen.MustFeasible(r, probgen.Spec{Clients: 5, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := (&Solver{Sparse: opt.SparseOff}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := (&Solver{Sparse: opt.SparseForce}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, forced, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	gap := math.Abs(dense.Objective - forced.Objective)
+	if gap > 1e-9*(1+math.Abs(dense.Objective)) {
+		t.Fatalf("objective gap %g (dense %v forced %v)", gap, dense.Objective, forced.Objective)
+	}
+}
+
+func TestCDPSMSparseParallelSerialBitForBit(t *testing.T) {
+	// Each agent writes only its own packed estimate and the projector's
+	// incremental sums are chunking-independent, so fanning the agents
+	// across cores must not change a single bit.
+	r := sim.NewRand(43)
+	prob := maskedInstance(t, r, 12, 5)
+	serial, err := (&Solver{Sparse: opt.SparseForce, Parallelism: -1, MaxIters: 300}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Solver{Sparse: opt.SparseForce, Parallelism: 4, MaxIters: 300}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", serial.Iterations, parallel.Iterations)
+	}
+	for c := range serial.Assignment {
+		for n := range serial.Assignment[c] {
+			if serial.Assignment[c][n] != parallel.Assignment[c][n] {
+				t.Fatalf("assignment differs at [%d][%d]: %v vs %v",
+					c, n, serial.Assignment[c][n], parallel.Assignment[c][n])
+			}
+		}
+	}
+}
+
+func TestCDPSMSparseCommCountsNNZ(t *testing.T) {
+	r := sim.NewRand(47)
+	prob := maskedInstance(t, r, 8, 4)
+	sp := prob.Sparsity()
+	res, err := (&Solver{Sparse: opt.SparseForce, MaxIters: 50}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := res.Comm.Scalars / res.Iterations
+	want := prob.N() * (prob.N() - 1) * sp.NNZ()
+	if perIter != want {
+		t.Fatalf("scalars/iteration = %d, want %d (N·(N−1)·nnz)", perIter, want)
+	}
+	if sp.NNZ() >= prob.C()*prob.N() && perIter >= prob.N()*(prob.N()-1)*prob.C()*prob.N() {
+		t.Fatal("sparse comm accounting no cheaper than dense on a masked instance")
+	}
+}

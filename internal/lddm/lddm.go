@@ -44,6 +44,15 @@ type Solver struct {
 	// worker count, 0 sizes from GOMAXPROCS, < 0 forces serial. Parallel
 	// and serial runs are bit-identical.
 	Parallelism int
+	// Sparse selects the packed sparse kernels (CSR primal, packed
+	// water-filling over each replica's client list). The default,
+	// opt.SparseAuto, dispatches on the instance: masked instances run
+	// sparse, fully-feasible ones keep the dense kernels bit-for-bit.
+	// The packed water-filling preserves the dense candidate order and
+	// arithmetic, so on masked instances the sparse iterates (and the
+	// recorded History) are also bit-identical to the dense ones; only the
+	// final polish differs within projection tolerance.
+	Sparse opt.SparseMode
 }
 
 // New returns an LDDM solver with the defaults above.
@@ -128,6 +137,9 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	}
 	if err := opt.CheckFeasible(prob); err != nil {
 		return nil, err
+	}
+	if sp := prob.Sparsity(); s.Sparse.Enabled(sp) {
+		return s.solveSparse(prob, sp)
 	}
 	step := s.Step
 	if step == nil {
@@ -231,7 +243,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 		// convergence history (Fig 5) reflects comparable feasible costs.
 		if s.FeasibleHistory {
 			repaired := opt.Clone(avg)
-			if err := opt.ProjectFeasiblePar(prob, repaired, 1e-4, par); err != nil {
+			if err := opt.ProjectFeasibleMode(prob, repaired, 1e-4, par, s.Sparse); err != nil {
 				return nil, fmt.Errorf("lddm: history repair at iteration %d: %w", k, err)
 			}
 			res.History = append(res.History, prob.Cost(repaired))
@@ -249,7 +261,7 @@ func (s *Solver) Solve(prob *opt.Problem) (*solver.Result, error) {
 	// feasibility exactly (constant-step dual iterates are near- but not
 	// exactly feasible).
 	final := opt.Clone(avg)
-	if err := opt.ProjectFeasiblePar(prob, final, 1e-6, par); err != nil {
+	if err := opt.ProjectFeasibleMode(prob, final, 1e-6, par, s.Sparse); err != nil {
 		return nil, fmt.Errorf("lddm: primal recovery: %w", err)
 	}
 	res.Assignment = final

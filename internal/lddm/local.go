@@ -35,6 +35,12 @@ type LocalProblem struct {
 	// Allowed[c] reports whether this replica is within client c's
 	// latency bound.
 	Allowed []bool
+	// Clients, when non-nil, is the packed form of Allowed: the ascending
+	// client ids this replica may serve (a CSC column slice of the
+	// problem's Sparsity view). SolveLocalPacked uses it to run the
+	// water-filling in O(|Clients| log |Clients|) instead of O(|C| log |C|);
+	// Mu and Demands stay full-length and are indexed through it.
+	Clients []int
 }
 
 // Validate checks shape consistency.
@@ -107,6 +113,62 @@ func SolveLocal(lp *LocalProblem) ([]float64, error) {
 			break
 		}
 		p[i] = take
+		s += take
+	}
+	return p, nil
+}
+
+// SolveLocalPacked is SolveLocal on the packed client list: it returns the
+// column values for lp.Clients only (same order), skipping the masked-out
+// clients entirely. The candidate ordering, accumulation order and
+// water-filling arithmetic are identical to SolveLocal's, so the returned
+// values are bit-for-bit the supported entries of the dense solution.
+func SolveLocalPacked(lp *LocalProblem) ([]float64, error) {
+	if lp.Clients == nil {
+		return nil, fmt.Errorf("lddm: SolveLocalPacked needs a packed client list")
+	}
+	c := len(lp.Mu)
+	if c == 0 {
+		return nil, fmt.Errorf("lddm: local problem has no clients")
+	}
+	if len(lp.Demands) != c {
+		return nil, fmt.Errorf("lddm: local problem shape mismatch: mu %d, demands %d", c, len(lp.Demands))
+	}
+	if err := lp.Replica.Validate(); err != nil {
+		return nil, err
+	}
+	p := make([]float64, len(lp.Clients))
+
+	// Candidate positions in ascending μ. lp.Clients is ascending, so the
+	// pre-sort sequence (and hence the sort's permutation on ties) matches
+	// the dense path exactly.
+	order := make([]int, 0, len(lp.Clients))
+	for idx, i := range lp.Clients {
+		if lp.Demands[i] > 0 {
+			order = append(order, idx)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return lp.Mu[lp.Clients[order[a]]] < lp.Mu[lp.Clients[order[b]]]
+	})
+
+	s := 0.0
+	budget := lp.Replica.Bandwidth
+	for _, idx := range order {
+		if s >= budget-1e-15 {
+			break
+		}
+		i := lp.Clients[idx]
+		mu := lp.Mu[i]
+		breakEven := marginalLoad(lp.Replica, -mu)
+		if breakEven <= s {
+			break
+		}
+		take := math.Min(lp.Demands[i], math.Min(budget, breakEven)-s)
+		if take <= 0 {
+			break
+		}
+		p[idx] = take
 		s += take
 	}
 	return p, nil

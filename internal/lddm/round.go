@@ -174,16 +174,22 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		return nil, fmt.Errorf("lddm: round %d: %d multipliers for %d clients", body.Round, len(body.Mu), c)
 	}
 	st, err := sr.State("LDDM", func() (any, error) {
-		mask := sr.Prob.Allowed()
-		allowed := make([]bool, c)
-		for i := range allowed {
-			allowed[i] = mask[i][sr.Col]
-		}
-		return &serverState{local: &LocalProblem{
+		local := &LocalProblem{
 			Replica: sr.Prob.System.Replicas[sr.Col],
 			Demands: sr.Prob.Demands,
-			Allowed: allowed,
-		}}, nil
+		}
+		if sp := sr.Prob.Sparsity(); opt.SparseAuto.Enabled(sp) {
+			// Masked instance: water-fill over the packed support only.
+			local.Clients = sp.RowIdx[sp.ColStart[sr.Col]:sp.ColStart[sr.Col+1]:sp.ColStart[sr.Col+1]]
+		} else {
+			mask := sr.Prob.Allowed()
+			allowed := make([]bool, c)
+			for i := range allowed {
+				allowed[i] = mask[i][sr.Col]
+			}
+			local.Allowed = allowed
+		}
+		return &serverState{local: local}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -192,6 +198,17 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	ls.local.Mu = body.Mu
+	if ls.local.Clients != nil {
+		packed, err := SolveLocalPacked(ls.local)
+		if err != nil {
+			return nil, err
+		}
+		col := make([]float64, c)
+		for idx, i := range ls.local.Clients {
+			col[i] = packed[idx]
+		}
+		return SolveReply{Column: col}, nil
+	}
 	col, err := SolveLocal(ls.local)
 	if err != nil {
 		return nil, err

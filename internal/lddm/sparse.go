@@ -1,0 +1,177 @@
+package lddm
+
+import (
+	"fmt"
+	"math"
+
+	"edr/internal/opt"
+	"edr/internal/solver"
+)
+
+// Packed sparse LDDM: the primal lives as a CSR vector over the
+// latency-feasibility support, each replica water-fills only its packed
+// client list, and the suffix averaging, μ updates and history run in
+// O(nnz) per iteration. Because SolveLocalPacked preserves the dense
+// candidate order and arithmetic and every dense off-support entry is an
+// exact zero, the packed iterates are bit-identical to the dense ones on
+// the same instance.
+
+// packedRowSums writes each client's served total Σ_n v_{c,n} of a
+// CSR-packed vector into rows — the same ascending-replica accumulation
+// order as the dense row sums.
+func packedRowSums(sp *opt.Sparsity, v, rows []float64) {
+	for c := 0; c < sp.C; c++ {
+		s := 0.0
+		for k := sp.RowStart[c]; k < sp.RowStart[c+1]; k++ {
+			s += v[k]
+		}
+		rows[c] = s
+	}
+}
+
+// packedDemandResidual is DemandResidual on a CSR-packed iterate.
+func packedDemandResidual(sp *opt.Sparsity, v, demands, rows []float64) float64 {
+	packedRowSums(sp, v, rows)
+	maxRel := 0.0
+	for i, r := range rows {
+		denom := demands[i]
+		if denom < 1 {
+			denom = 1
+		}
+		if rel := math.Abs(r-demands[i]) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}
+
+// packedNormalizedCost is Cost(normalizeRows(prob, v)) without densifying:
+// each row is rescaled toward its demand and the per-replica loads are
+// accumulated directly in row-major order — the same order the dense
+// objective walks the matrix, so the value is bit-identical.
+func packedNormalizedCost(prob *opt.Problem, sp *opt.Sparsity, v, rows, loads []float64) float64 {
+	packedRowSums(sp, v, rows)
+	for n := range loads {
+		loads[n] = 0
+	}
+	for c := 0; c < sp.C; c++ {
+		scale := 1.0
+		if rows[c] > 1e-12 {
+			scale = prob.Demands[c] / rows[c]
+		}
+		for k := sp.RowStart[c]; k < sp.RowStart[c+1]; k++ {
+			loads[sp.ColIdx[k]] += v[k] * scale
+		}
+	}
+	return prob.System.CostOfLoads(loads)
+}
+
+// solveSparse is Solve on the packed kernels.
+func (s *Solver) solveSparse(prob *opt.Problem, sp *opt.Sparsity) (*solver.Result, error) {
+	step := s.Step
+	if step == nil {
+		step = AutoStepScaled(prob, s.StepRamp)
+	}
+	maxIters := s.MaxIters
+	if maxIters <= 0 {
+		maxIters = 3000
+	}
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 0.01
+	}
+
+	c, n := prob.C(), prob.N()
+	nnz := sp.NNZ()
+	par := opt.NewParallel(s.Parallelism).Gate(nnz)
+
+	mu := make([]float64, c)
+	locals := make([]*LocalProblem, n)
+	for j := 0; j < n; j++ {
+		locals[j] = &LocalProblem{
+			Replica: prob.System.Replicas[j],
+			Mu:      mu, // shared slice: replicas read the latest multipliers
+			Demands: prob.Demands,
+			Clients: sp.RowIdx[sp.ColStart[j]:sp.ColStart[j+1]:sp.ColStart[j+1]],
+		}
+	}
+
+	res := &solver.Result{}
+	primal := make([]float64, nnz) // CSR layout
+	avg := make([]float64, nnz)
+	rows := make([]float64, c)
+	loads := make([]float64, n)
+	windowStart := 1
+
+	for k := 1; k <= maxIters; k++ {
+		// Per-replica packed water-filling; each writes its own CSC column
+		// slots scattered into the CSR primal via PosCSR (disjoint per
+		// replica, so the fan-out stays bit-identical).
+		if err := par.ForBalancedErr(n, sp.ColStart, func(_, lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				col, err := SolveLocalPacked(locals[j])
+				if err != nil {
+					return fmt.Errorf("lddm: replica %d local solve: %w", j, err)
+				}
+				base := sp.ColStart[j]
+				for idx, v := range col {
+					primal[sp.PosCSR[base+idx]] = v
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// μ update from each client's packed served total.
+		d := step(k)
+		packedRowSums(sp, primal, rows)
+		for i := 0; i < c; i++ {
+			mu[i] += d * (rows[i] - prob.Demands[i])
+		}
+		// Doubling suffix average on the packed iterate.
+		if k == windowStart*2 {
+			windowStart = k
+			opt.VecFill(avg, 0)
+		}
+		w := k - windowStart + 1
+		opt.VecScale(avg, float64(w-1)/float64(w))
+		opt.VecAXPY(avg, 1/float64(w), primal)
+
+		maxRel := math.Inf(1)
+		if w >= 64 {
+			maxRel = packedDemandResidual(sp, avg, prob.Demands, rows)
+		}
+
+		// Communication accounting: only supported client–replica pairs
+		// exchange scalars, so both directions carry nnz each.
+		res.Comm.Messages += 2 * nnz
+		res.Comm.Scalars += 2 * nnz
+		res.Iterations = k
+
+		if s.FeasibleHistory {
+			repaired := opt.NewMatrix(c, n)
+			sp.Scatter(repaired, avg)
+			if err := opt.ProjectFeasibleSp(prob, repaired, 1e-4, par); err != nil {
+				return nil, fmt.Errorf("lddm: history repair at iteration %d: %w", k, err)
+			}
+			res.History = append(res.History, prob.Cost(repaired))
+		} else {
+			res.History = append(res.History, packedNormalizedCost(prob, sp, primal, rows, loads))
+		}
+
+		if maxRel <= tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Primal recovery from the packed ergodic average.
+	final := opt.NewMatrix(c, n)
+	sp.Scatter(final, avg)
+	if err := opt.ProjectFeasibleSp(prob, final, 1e-6, par); err != nil {
+		return nil, fmt.Errorf("lddm: primal recovery: %w", err)
+	}
+	res.Assignment = final
+	res.Objective = prob.Cost(final)
+	return res, nil
+}

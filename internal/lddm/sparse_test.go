@@ -1,0 +1,155 @@
+package lddm
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/model"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+func maskedInstance(t *testing.T, r *sim.Rand, clients, replicas int) *opt.Problem {
+	return maskedInstanceSpec(t, r, probgen.Spec{Clients: clients, Replicas: replicas, Geo: true})
+}
+
+func maskedInstanceSpec(t *testing.T, r *sim.Rand, spec probgen.Spec) *opt.Problem {
+	t.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		prob, err := probgen.MustFeasible(r, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prob.Sparsity().Full {
+			return prob
+		}
+	}
+	t.Fatal("no masked instance in 50 draws")
+	return nil
+}
+
+func TestSolveLocalPackedMatchesDense(t *testing.T) {
+	r := sim.NewRand(53)
+	for trial := 0; trial < 30; trial++ {
+		c := r.IntBetween(1, 12)
+		rep := model.NewReplica("r", r.Range(1, 20))
+		rep.Bandwidth = r.Range(20, 120)
+		lp := &LocalProblem{
+			Replica: rep,
+			Mu:      make([]float64, c),
+			Demands: make([]float64, c),
+			Allowed: make([]bool, c),
+		}
+		clients := []int{}
+		for i := 0; i < c; i++ {
+			lp.Mu[i] = r.Range(-2, 2)
+			lp.Demands[i] = r.Range(0, 30)
+			lp.Allowed[i] = r.Float64() < 0.7
+			if lp.Allowed[i] {
+				clients = append(clients, i)
+			}
+		}
+		dense, err := SolveLocal(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp.Clients = clients
+		packed, err := SolveLocalPacked(lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, i := range clients {
+			if packed[idx] != dense[i] {
+				t.Fatalf("trial %d: packed[%d]=%v, dense[%d]=%v", trial, idx, packed[idx], i, dense[i])
+			}
+		}
+		for i, v := range dense {
+			if !lp.Allowed[i] && v != 0 {
+				t.Fatalf("trial %d: dense wrote masked client %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestLDDMSparseIteratesBitForBitWithDense(t *testing.T) {
+	// The packed water-filling, μ updates and suffix averaging preserve the
+	// dense op order over exact zeros, so Force and Off runs must record
+	// identical histories and iteration counts on a masked instance.
+	r := sim.NewRand(59)
+	prob := maskedInstance(t, r, 10, 4)
+	dense, err := (&Solver{Sparse: opt.SparseOff, MaxIters: 400}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := (&Solver{Sparse: opt.SparseForce, MaxIters: 400}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Iterations != sparse.Iterations {
+		t.Fatalf("iterations: dense %d, sparse %d", dense.Iterations, sparse.Iterations)
+	}
+	for k := range dense.History {
+		if dense.History[k] != sparse.History[k] {
+			t.Fatalf("history diverges at iteration %d: %v vs %v", k+1, dense.History[k], sparse.History[k])
+		}
+	}
+	// Final assignments go through different (equivalent) projectors; they
+	// agree to projection tolerance, as do the objectives.
+	if err := solver.Verify(prob, sparse, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	gap := math.Abs(dense.Objective - sparse.Objective)
+	if gap > 1e-9*(1+math.Abs(dense.Objective)) {
+		t.Fatalf("objective gap %g (dense %v sparse %v)", gap, dense.Objective, sparse.Objective)
+	}
+}
+
+func TestLDDMSparseMatchesCentral(t *testing.T) {
+	r := sim.NewRand(61)
+	prob := maskedInstance(t, r, 8, 4)
+	res, err := (&Solver{Sparse: opt.SparseAuto}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Verify(prob, res, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLDDMSparseParallelSerialBitForBit(t *testing.T) {
+	r := sim.NewRand(67)
+	prob := maskedInstanceSpec(t, r, probgen.Spec{Clients: 40, Replicas: 6, Geo: true, DemandLo: 1, DemandHi: 6})
+	serial, err := (&Solver{Sparse: opt.SparseForce, Parallelism: -1, MaxIters: 500}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Solver{Sparse: opt.SparseForce, Parallelism: 4, MaxIters: 500}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", serial.Iterations, parallel.Iterations)
+	}
+	for c := range serial.Assignment {
+		for n := range serial.Assignment[c] {
+			if serial.Assignment[c][n] != parallel.Assignment[c][n] {
+				t.Fatalf("assignment differs at [%d][%d]", c, n)
+			}
+		}
+	}
+}
+
+func TestLDDMSparseCommCountsNNZ(t *testing.T) {
+	r := sim.NewRand(71)
+	prob := maskedInstance(t, r, 8, 4)
+	nnz := prob.Sparsity().NNZ()
+	res, err := (&Solver{Sparse: opt.SparseForce, MaxIters: 100}).Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Comm.Scalars/res.Iterations, 2*nnz; got != want {
+		t.Fatalf("scalars/iteration = %d, want %d (2·nnz)", got, want)
+	}
+}

@@ -154,9 +154,22 @@ func ProjectFeasible(prob *Problem, x [][]float64, tol float64) error {
 
 // ProjectFeasiblePar is ProjectFeasible with the per-client and per-column
 // projection kernels fanned over par (nil = serial, identical results).
+// Masked instances dispatch to the packed sparse projector (identical
+// guarantees, O(nnz) sweeps); fully-feasible ones keep the dense kernels
+// bit-for-bit.
 func ProjectFeasiblePar(prob *Problem, x [][]float64, tol float64, par *Parallel) error {
+	return ProjectFeasibleMode(prob, x, tol, par, SparseAuto)
+}
+
+// ProjectFeasibleMode is ProjectFeasiblePar with explicit sparse-kernel
+// dispatch, for solvers exposing a SparseMode knob and for dense-baseline
+// benchmarks.
+func ProjectFeasibleMode(prob *Problem, x [][]float64, tol float64, par *Parallel, mode SparseMode) error {
 	if tol <= 0 {
 		tol = 1e-6
+	}
+	if mode.Enabled(prob.Sparsity()) {
+		return ProjectFeasibleSp(prob, x, tol, par)
 	}
 	sets := FeasibleSetProjectionsPar(prob, par)
 	// The row/column sets can meet at a shallow angle when capacities are

@@ -1,7 +1,9 @@
 package opt
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -125,6 +127,87 @@ func (p *Parallel) For(n int, fn func(chunk, lo, hi int)) {
 	}
 	fn(0, 0, n/chunks)
 	wg.Wait()
+}
+
+// ForBalanced is For with chunk boundaries balanced by cumulative weight
+// instead of unit counts: cum (len n+1, non-decreasing, cum[0] = 0) gives
+// the cumulative work before each unit, and chunk c covers the units whose
+// weight spans [c·W/chunks, (c+1)·W/chunks) where W = cum[n]. Sparse row
+// sweeps pass a CSR RowStart so workers get equal nnz even when row
+// fan-outs differ wildly. Boundaries depend only on cum and the pool
+// width, so (as with For) callers giving each unit disjoint output state
+// get chunking-independent results.
+func (p *Parallel) ForBalanced(n int, cum []int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if len(cum) != n+1 {
+		panic(fmt.Sprintf("opt: ForBalanced got %d-slot cum for %d units", len(cum), n))
+	}
+	chunks := p.Chunks(n)
+	if chunks <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	total := cum[n]
+	bound := func(c int) int {
+		// Smallest i with cum[i]·chunks ≥ total·c; monotone in c.
+		target := total * c / chunks
+		i := sort.SearchInts(cum, target+1) - 1
+		if i < 0 {
+			i = 0
+		} else if i > n {
+			i = n
+		}
+		return i
+	}
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo, hi := bound(c), bound(c+1)
+		if c == chunks-1 {
+			hi = n
+		}
+		select {
+		case <-p.tokens:
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer func() {
+					p.tokens <- struct{}{}
+					wg.Done()
+				}()
+				fn(c, lo, hi)
+			}(c, lo, hi)
+		default:
+			fn(c, lo, hi)
+		}
+	}
+	fn(0, 0, bound(1))
+	wg.Wait()
+}
+
+// ForBalancedErr is ForBalanced with ForErr's error collection: the
+// lowest-indexed chunk's error wins, matching serial left-to-right order.
+func (p *Parallel) ForBalancedErr(n int, cum []int, fn func(chunk, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	chunks := p.Chunks(n)
+	if chunks <= 1 {
+		if len(cum) != n+1 {
+			panic(fmt.Sprintf("opt: ForBalancedErr got %d-slot cum for %d units", len(cum), n))
+		}
+		return fn(0, 0, n)
+	}
+	errs := make([]error, chunks)
+	p.ForBalanced(n, cum, func(chunk, lo, hi int) {
+		errs[chunk] = fn(chunk, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ForErr is For with error collection: each chunk may return an error, and

@@ -22,11 +22,13 @@ type Problem struct {
 	// (seconds). Replicas with l_{c,n} > T may not serve client c.
 	MaxLatency float64
 
-	// maskMu guards mask, the cached feasibility matrix Allowed() serves.
-	// Latency and MaxLatency must not change after the first Allowed()
-	// call unless InvalidateMask is called in between.
+	// maskMu guards mask and sparse, the cached feasibility views Allowed()
+	// and Sparsity() serve. Latency and MaxLatency must not change after
+	// the first Allowed()/Sparsity() call unless InvalidateMask is called
+	// in between.
 	maskMu sync.Mutex
 	mask   [][]bool
+	sparse *Sparsity
 }
 
 // Validate checks structural and numeric consistency.
@@ -78,6 +80,10 @@ func (p *Problem) N() int { return p.System.N() }
 func (p *Problem) Allowed() [][]bool {
 	p.maskMu.Lock()
 	defer p.maskMu.Unlock()
+	return p.allowedLocked()
+}
+
+func (p *Problem) allowedLocked() [][]bool {
 	if p.mask == nil {
 		mask := make([][]bool, p.C())
 		cells := make([]bool, p.C()*p.N())
@@ -92,12 +98,26 @@ func (p *Problem) Allowed() [][]bool {
 	return p.mask
 }
 
-// InvalidateMask drops the cached feasibility mask. Call it after mutating
-// Latency or MaxLatency on a Problem that may already have served
-// Allowed() (e.g. probgen folding a placement map into the latencies).
+// Sparsity returns the cached CSR/CSC index view of the feasibility mask,
+// building it (and the mask) on first use. Like Allowed, the result is
+// shared and read-only; InvalidateMask drops it together with the mask.
+func (p *Problem) Sparsity() *Sparsity {
+	p.maskMu.Lock()
+	defer p.maskMu.Unlock()
+	if p.sparse == nil {
+		p.sparse = NewSparsity(p.allowedLocked())
+	}
+	return p.sparse
+}
+
+// InvalidateMask drops the cached feasibility mask and its sparsity view.
+// Call it after mutating Latency or MaxLatency on a Problem that may
+// already have served Allowed() or Sparsity() (e.g. probgen folding a
+// placement map into the latencies).
 func (p *Problem) InvalidateMask() {
 	p.maskMu.Lock()
 	p.mask = nil
+	p.sparse = nil
 	p.maskMu.Unlock()
 }
 

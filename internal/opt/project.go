@@ -76,6 +76,56 @@ func ProjectSimplex(x []float64, s float64) {
 	}
 }
 
+// ProjectSimplexScratch is ProjectSimplex backed by caller scratch (len ≥
+// len(x)) instead of a per-call allocation, with an insertion sort for the
+// short vectors the packed sparse kernels hand it (a masked row holds a
+// handful of entries). The threshold math is identical to ProjectSimplex:
+// exact, no bisection.
+func ProjectSimplexScratch(x, scratch []float64, s float64) {
+	if s < 0 {
+		panic(fmt.Sprintf("opt: ProjectSimplexScratch with negative sum %g", s))
+	}
+	d := len(x)
+	if d == 0 {
+		return
+	}
+	if s == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return
+	}
+	sorted := scratch[:d]
+	copy(sorted, x)
+	if d <= 32 {
+		for i := 1; i < d; i++ {
+			v := sorted[i]
+			j := i - 1
+			for j >= 0 && sorted[j] < v {
+				sorted[j+1] = sorted[j]
+				j--
+			}
+			sorted[j+1] = v
+		}
+	} else {
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	}
+	cum := 0.0
+	theta := 0.0
+	for k := 0; k < d; k++ {
+		cum += sorted[k]
+		t := (cum - s) / float64(k+1)
+		if sorted[k]-t > 0 {
+			theta = t
+		} else {
+			break
+		}
+	}
+	for i := range x {
+		x[i] = math.Max(x[i]-theta, 0)
+	}
+}
+
 // ProjectSimplexUpper projects x in place onto {y : y ≥ 0, Σy ≤ s}.
 // If the nonnegative clip already satisfies the budget the clip is the
 // projection; otherwise the solution lies on the face Σy = s.

@@ -1,0 +1,255 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// SparseMode selects whether a solver (or projection) runs on the packed
+// sparse kernels or the dense ones. The zero value is automatic dispatch,
+// so existing configs pick up the sparse path with no changes.
+type SparseMode int
+
+const (
+	// SparseAuto uses the sparse kernels exactly when the instance's
+	// feasibility mask has structural zeros (density < 1). Fully-feasible
+	// instances stay on the dense code paths, which keeps results
+	// bit-for-bit identical to the pre-sparse implementation there.
+	SparseAuto SparseMode = iota
+	// SparseOff forces the dense kernels everywhere — the baseline the
+	// sparse benchmarks compare against.
+	SparseOff
+	// SparseForce runs the sparse kernels even on fully-feasible
+	// instances, for equivalence tests and kernel benchmarks.
+	SparseForce
+)
+
+// Enabled reports whether the mode selects the sparse kernels for an
+// instance with the given sparsity view.
+func (m SparseMode) Enabled(sp *Sparsity) bool {
+	switch m {
+	case SparseOff:
+		return false
+	case SparseForce:
+		return true
+	default:
+		return !sp.Full
+	}
+}
+
+// Sparsity is the immutable CSR+CSC index view of a problem's latency-
+// feasibility mask. Packed vectors indexed by it hold one float64 per
+// allowed (client, replica) pair in row-major (CSR) order, so per-client
+// row operations — the projection hot path — run on contiguous subslices.
+// The CSC half gives every per-replica column kernel (column sums, local
+// solves, duals) its client list without scanning the mask.
+//
+// Problems cache their Sparsity alongside the Allowed() mask; see
+// (*Problem).Sparsity.
+type Sparsity struct {
+	// C, N are the dense dimensions (clients × replicas).
+	C, N int
+	// RowStart[c]..RowStart[c+1] bound client c's slots in packed vectors
+	// (len C+1). It is also the cumulative-nnz weight vector that
+	// Parallel.ForBalanced chunks rows by.
+	RowStart []int
+	// ColIdx[k] is the replica of CSR slot k (ascending within each row).
+	ColIdx []int
+	// ColStart[n]..ColStart[n+1] bound replica n's entries in CSC order
+	// (len N+1).
+	ColStart []int
+	// RowIdx[k] is the client of CSC slot k (ascending within each column).
+	RowIdx []int
+	// PosCSR[k] is the CSR slot of CSC slot k: column kernels reach into
+	// CSR-packed vectors through it.
+	PosCSR []int
+	// PosCSC[k] is the CSC slot of CSR slot k (the inverse of PosCSR).
+	PosCSC []int
+	// Full reports a mask with no structural zeros (density 1).
+	Full bool
+
+	maxRow int
+}
+
+// NewSparsity builds the index view of a feasibility mask. Rows must be
+// rectangular (as Problem.Allowed guarantees).
+func NewSparsity(mask [][]bool) *Sparsity {
+	c := len(mask)
+	n := 0
+	if c > 0 {
+		n = len(mask[0])
+	}
+	sp := &Sparsity{C: c, N: n}
+	sp.RowStart = make([]int, c+1)
+	colCount := make([]int, n+1)
+	nnz := 0
+	maxRow := 0
+	for i, row := range mask {
+		if len(row) != n {
+			panic(fmt.Sprintf("opt: NewSparsity row %d has %d cols, want %d", i, len(row), n))
+		}
+		rs := nnz
+		for j, ok := range row {
+			if ok {
+				nnz++
+				colCount[j+1]++
+			}
+		}
+		sp.RowStart[i+1] = nnz
+		if w := nnz - rs; w > maxRow {
+			maxRow = w
+		}
+	}
+	sp.maxRow = maxRow
+	sp.Full = nnz == c*n
+	sp.ColIdx = make([]int, nnz)
+	sp.RowIdx = make([]int, nnz)
+	sp.PosCSR = make([]int, nnz)
+	sp.PosCSC = make([]int, nnz)
+	sp.ColStart = make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		sp.ColStart[j] = sp.ColStart[j-1] + colCount[j]
+	}
+	// Fill CSR column indexes and, in the same pass, the CSC slots: walking
+	// rows in order means each column's clients land in ascending order.
+	next := make([]int, n)
+	copy(next, sp.ColStart[:n])
+	k := 0
+	for i, row := range mask {
+		for j, ok := range row {
+			if !ok {
+				continue
+			}
+			sp.ColIdx[k] = j
+			slot := next[j]
+			next[j]++
+			sp.RowIdx[slot] = i
+			sp.PosCSR[slot] = k
+			sp.PosCSC[k] = slot
+			k++
+		}
+	}
+	return sp
+}
+
+// NNZ returns the number of allowed (client, replica) pairs.
+func (sp *Sparsity) NNZ() int { return len(sp.ColIdx) }
+
+// Density returns nnz / (C·N), the fraction of feasible entries.
+func (sp *Sparsity) Density() float64 {
+	if sp.C == 0 || sp.N == 0 {
+		return 0
+	}
+	return float64(sp.NNZ()) / float64(sp.C*sp.N)
+}
+
+// RowNNZ returns the number of feasible replicas for client c.
+func (sp *Sparsity) RowNNZ(c int) int { return sp.RowStart[c+1] - sp.RowStart[c] }
+
+// ColNNZ returns the number of feasible clients for replica n.
+func (sp *Sparsity) ColNNZ(n int) int { return sp.ColStart[n+1] - sp.ColStart[n] }
+
+// MaxRowNNZ returns the widest row's nnz — the scratch size row kernels need.
+func (sp *Sparsity) MaxRowNNZ() int { return sp.maxRow }
+
+// Gather packs the supported entries of dense m into dst (CSR order),
+// allocating when dst is nil. Off-support entries of m are dropped — the
+// projection onto the mask subspace.
+func (sp *Sparsity) Gather(dst []float64, m [][]float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, sp.NNZ())
+	}
+	if len(dst) != sp.NNZ() {
+		panic(fmt.Sprintf("opt: Gather got %d-slot dst for %d nnz", len(dst), sp.NNZ()))
+	}
+	for c := 0; c < sp.C; c++ {
+		row := m[c]
+		for k := sp.RowStart[c]; k < sp.RowStart[c+1]; k++ {
+			dst[k] = row[sp.ColIdx[k]]
+		}
+	}
+	return dst
+}
+
+// Scatter writes packed v back into dense m, zeroing off-support entries.
+func (sp *Sparsity) Scatter(m [][]float64, v []float64) {
+	if len(v) != sp.NNZ() {
+		panic(fmt.Sprintf("opt: Scatter got %d-slot v for %d nnz", len(v), sp.NNZ()))
+	}
+	for c := 0; c < sp.C; c++ {
+		row := m[c]
+		for j := range row {
+			row[j] = 0
+		}
+		for k := sp.RowStart[c]; k < sp.RowStart[c+1]; k++ {
+			row[sp.ColIdx[k]] = v[k]
+		}
+	}
+}
+
+// ColSumsInto writes the per-replica column sums of packed v into dst
+// (len N). Each column accumulates in fixed CSC order, so the result is
+// independent of any row chunking that produced v.
+func (sp *Sparsity) ColSumsInto(dst []float64, v []float64) []float64 {
+	if len(dst) != sp.N {
+		panic(fmt.Sprintf("opt: ColSumsInto got %d-slot dst for %d replicas", len(dst), sp.N))
+	}
+	for n := 0; n < sp.N; n++ {
+		s := 0.0
+		for k := sp.ColStart[n]; k < sp.ColStart[n+1]; k++ {
+			s += v[sp.PosCSR[k]]
+		}
+		dst[n] = s
+	}
+	return dst
+}
+
+// VecAXPY computes dst += s·a over packed vectors.
+func VecAXPY(dst []float64, s float64, a []float64) {
+	if len(dst) != len(a) {
+		panic(fmt.Sprintf("opt: VecAXPY length mismatch: %d vs %d", len(dst), len(a)))
+	}
+	for i := range dst {
+		dst[i] += s * a[i]
+	}
+}
+
+// VecScale multiplies every entry of v by s.
+func VecScale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// VecFill sets every entry of v to x.
+func VecFill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// VecDist returns the Euclidean distance ‖a−b‖ over packed vectors.
+func VecDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("opt: VecDist length mismatch: %d vs %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// VecMean averages packed vectors entry-wise with the given weights into
+// dst — the packed counterpart of Mean, with the same accumulation order
+// (zero, then one AXPY per vector).
+func VecMean(dst []float64, weights []float64, vs ...[]float64) {
+	if len(weights) != len(vs) {
+		panic(fmt.Sprintf("opt: VecMean got %d weights for %d vectors", len(weights), len(vs)))
+	}
+	VecFill(dst, 0)
+	for k, v := range vs {
+		VecAXPY(dst, weights[k], v)
+	}
+}

@@ -1,0 +1,324 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/sim"
+)
+
+func maskOf(rows ...[]bool) [][]bool { return rows }
+
+func TestSparsityIndexes(t *testing.T) {
+	sp := NewSparsity(maskOf(
+		[]bool{true, false, true},
+		[]bool{false, false, true},
+		[]bool{true, true, false},
+	))
+	if sp.C != 3 || sp.N != 3 || sp.NNZ() != 5 || sp.Full {
+		t.Fatalf("C=%d N=%d nnz=%d full=%v", sp.C, sp.N, sp.NNZ(), sp.Full)
+	}
+	wantRowStart := []int{0, 2, 3, 5}
+	for i, w := range wantRowStart {
+		if sp.RowStart[i] != w {
+			t.Fatalf("RowStart = %v, want %v", sp.RowStart, wantRowStart)
+		}
+	}
+	wantColIdx := []int{0, 2, 2, 0, 1}
+	for i, w := range wantColIdx {
+		if sp.ColIdx[i] != w {
+			t.Fatalf("ColIdx = %v, want %v", sp.ColIdx, wantColIdx)
+		}
+	}
+	wantColStart := []int{0, 2, 3, 5}
+	for i, w := range wantColStart {
+		if sp.ColStart[i] != w {
+			t.Fatalf("ColStart = %v, want %v", sp.ColStart, wantColStart)
+		}
+	}
+	// CSC slots: col0 -> clients {0,2}, col1 -> {2}, col2 -> {0,1}.
+	wantRowIdx := []int{0, 2, 2, 0, 1}
+	for i, w := range wantRowIdx {
+		if sp.RowIdx[i] != w {
+			t.Fatalf("RowIdx = %v, want %v", sp.RowIdx, wantRowIdx)
+		}
+	}
+	// PosCSR/PosCSC must be inverse permutations linking the two layouts.
+	for k := 0; k < sp.NNZ(); k++ {
+		if sp.PosCSC[sp.PosCSR[k]] != k {
+			t.Fatalf("PosCSR/PosCSC not inverse at CSC slot %d", k)
+		}
+	}
+	if sp.MaxRowNNZ() != 2 || sp.RowNNZ(1) != 1 || sp.ColNNZ(1) != 1 {
+		t.Fatalf("row/col nnz wrong: max=%d row1=%d col1=%d", sp.MaxRowNNZ(), sp.RowNNZ(1), sp.ColNNZ(1))
+	}
+	if d := sp.Density(); math.Abs(d-5.0/9.0) > 1e-15 {
+		t.Fatalf("Density = %g", d)
+	}
+}
+
+func TestGatherScatterColSums(t *testing.T) {
+	r := sim.NewRand(7)
+	for trial := 0; trial < 50; trial++ {
+		c, n := r.IntBetween(1, 8), r.IntBetween(1, 6)
+		mask := make([][]bool, c)
+		for i := range mask {
+			mask[i] = make([]bool, n)
+			for j := range mask[i] {
+				mask[i][j] = r.Float64() < 0.6
+			}
+		}
+		sp := NewSparsity(mask)
+		m := NewMatrix(c, n)
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = r.Range(-5, 5)
+			}
+		}
+		v := sp.Gather(nil, m)
+		out := NewMatrix(c, n)
+		sp.Scatter(out, v)
+		for i := range m {
+			for j := range m[i] {
+				want := m[i][j]
+				if !mask[i][j] {
+					want = 0
+				}
+				if out[i][j] != want {
+					t.Fatalf("scatter(gather)[%d][%d] = %g, want %g", i, j, out[i][j], want)
+				}
+			}
+		}
+		sums := sp.ColSumsInto(make([]float64, n), v)
+		dense := ColSums(out)
+		for j := range sums {
+			if math.Abs(sums[j]-dense[j]) > 1e-12 {
+				t.Fatalf("ColSumsInto[%d] = %g, dense %g", j, sums[j], dense[j])
+			}
+		}
+	}
+}
+
+func TestSparsityFullMask(t *testing.T) {
+	sp := NewSparsity(maskOf([]bool{true, true}, []bool{true, true}))
+	if !sp.Full || sp.NNZ() != 4 {
+		t.Fatalf("full mask: full=%v nnz=%d", sp.Full, sp.NNZ())
+	}
+	if SparseAuto.Enabled(sp) {
+		t.Fatal("SparseAuto picked sparse kernels on a full mask")
+	}
+	if !SparseForce.Enabled(sp) || SparseOff.Enabled(sp) {
+		t.Fatal("Force/Off dispatch wrong")
+	}
+	masked := NewSparsity(maskOf([]bool{true, false}))
+	if !SparseAuto.Enabled(masked) {
+		t.Fatal("SparseAuto skipped sparse kernels on a masked instance")
+	}
+}
+
+func TestForBalancedPartition(t *testing.T) {
+	par := NewParallel(4)
+	if par == nil {
+		t.Skip("single-core host")
+	}
+	r := sim.NewRand(11)
+	for trial := 0; trial < 100; trial++ {
+		n := r.IntBetween(1, 40)
+		cum := make([]int, n+1)
+		for i := 1; i <= n; i++ {
+			cum[i] = cum[i-1] + r.IntBetween(0, 9)
+		}
+		seen := make([]int32, n)
+		par.ForBalanced(n, cum, func(chunk, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++ // disjoint ranges: no two chunks touch the same unit
+			}
+		})
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("trial %d: unit %d covered %d times (cum=%v)", trial, i, s, cum)
+			}
+		}
+	}
+}
+
+func TestForBalancedSerialAndErrors(t *testing.T) {
+	var p *Parallel // nil = serial
+	got := 0
+	p.ForBalanced(5, []int{0, 1, 2, 3, 4, 5}, func(chunk, lo, hi int) {
+		if chunk != 0 || lo != 0 || hi != 5 {
+			t.Fatalf("serial chunking = (%d, %d, %d)", chunk, lo, hi)
+		}
+		got++
+	})
+	if got != 1 {
+		t.Fatalf("serial ForBalanced ran %d times", got)
+	}
+	err := NewParallel(4).ForBalancedErr(6, []int{0, 1, 2, 3, 4, 5, 6}, func(chunk, lo, hi int) error {
+		if lo <= 2 && 2 < hi {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("ForBalancedErr = %v, want errTest", err)
+	}
+}
+
+var errTest = errSentinel("test error")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+// sparseTestInstance builds a random masked instance plus a random
+// infeasible-ish starting matrix supported on the mask.
+func sparseTestInstance(t *testing.T, r *sim.Rand, clients, replicas int) (*Problem, [][]float64) {
+	t.Helper()
+	p := randomProblem(t, r, clients, replicas)
+	// Scale demands down so the instance is comfortably feasible even under
+	// the random mask (randomProblem alone can oversubscribe capacity).
+	total := 0.0
+	for _, d := range p.Demands {
+		total += d
+	}
+	budget := 0.0
+	for _, rep := range p.System.Replicas {
+		budget += rep.Bandwidth
+	}
+	if total > 0.4*budget {
+		scale := 0.4 * budget / total
+		for c := range p.Demands {
+			p.Demands[c] *= scale
+		}
+	}
+	if err := CheckFeasible(p); err != nil {
+		t.Fatalf("test instance infeasible: %v", err)
+	}
+	x := NewMatrix(clients, replicas)
+	mask := p.Allowed()
+	for c := range x {
+		for n := range x[c] {
+			if mask[c][n] {
+				x[c][n] = r.Range(0, 20)
+			} else if r.Float64() < 0.3 {
+				x[c][n] = r.Range(0, 5) // off-support garbage the projector must zero
+			}
+		}
+	}
+	return p, x
+}
+
+func TestProjectFeasibleSpMatchesDense(t *testing.T) {
+	r := sim.NewRand(2013)
+	for trial := 0; trial < 20; trial++ {
+		p, x := sparseTestInstance(t, r, r.IntBetween(3, 12), r.IntBetween(2, 5))
+		dense := Clone(x)
+		sparse := Clone(x)
+		if err := ProjectFeasibleMode(p, dense, 1e-6, nil, SparseOff); err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		if err := ProjectFeasibleSp(p, sparse, 1e-6, nil); err != nil {
+			t.Fatalf("trial %d sparse: %v", trial, err)
+		}
+		if v := p.Violation(sparse); v > 1e-6 {
+			t.Fatalf("trial %d: sparse projection violation %g", trial, v)
+		}
+		// Both are (approximate) Euclidean projections of the same point
+		// onto the same convex set, so they must nearly coincide.
+		if d := Dist(dense, sparse); d > 1e-4 {
+			t.Fatalf("trial %d: dense and sparse projections differ by %g", trial, d)
+		}
+		if gap := math.Abs(p.Cost(dense) - p.Cost(sparse)); gap > 1e-6*(1+p.Cost(dense)) {
+			t.Fatalf("trial %d: objective gap %g", trial, gap)
+		}
+	}
+}
+
+func TestProjectFeasibleSpParallelSerialBitForBit(t *testing.T) {
+	r := sim.NewRand(99)
+	p, x := sparseTestInstance(t, r, 60, 8)
+	serial := Clone(x)
+	parallel := Clone(x)
+	if err := ProjectFeasibleSp(p, serial, 1e-6, nil); err != nil {
+		t.Fatal(err)
+	}
+	par := NewParallel(4)
+	if par == nil {
+		t.Skip("single-core host")
+	}
+	if err := ProjectFeasibleSp(p, parallel, 1e-6, par); err != nil {
+		t.Fatal(err)
+	}
+	for c := range serial {
+		for n := range serial[c] {
+			if serial[c][n] != parallel[c][n] {
+				t.Fatalf("parallel sparse projection differs at [%d][%d]: %v vs %v",
+					c, n, serial[c][n], parallel[c][n])
+			}
+		}
+	}
+}
+
+func TestSparseProjectorSingleColumnBound(t *testing.T) {
+	// CDPSM's local sets bound only one column; the others are +Inf and
+	// must be skipped without arithmetic on their entries.
+	r := sim.NewRand(5)
+	p, x := sparseTestInstance(t, r, 10, 4)
+	sp := p.Sparsity()
+	agent := 2
+	bounds := make([]float64, sp.N)
+	for n := range bounds {
+		bounds[n] = math.Inf(1)
+	}
+	bounds[agent] = p.System.Replicas[agent].Bandwidth
+	pj := NewSparseProjector(sp, p.Demands, bounds, nil)
+	v := sp.Gather(nil, x)
+	if _, err := pj.Project(v, DykstraOptions{MaxSweeps: 200, Tol: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	out := NewMatrix(sp.C, sp.N)
+	sp.Scatter(out, v)
+	// Demands hold within tolerance, the agent's column respects its bound.
+	for c, row := range out {
+		sum := 0.0
+		for _, vv := range row {
+			sum += vv
+		}
+		if math.Abs(sum-p.Demands[c]) > 1e-6 {
+			t.Fatalf("row %d sum %g, want %g", c, sum, p.Demands[c])
+		}
+	}
+	colSum := 0.0
+	for c := range out {
+		colSum += out[c][agent]
+	}
+	if colSum > p.System.Replicas[agent].Bandwidth+1e-6 {
+		t.Fatalf("agent column sum %g exceeds bound %g", colSum, p.System.Replicas[agent].Bandwidth)
+	}
+}
+
+func TestSparsityCachedAndInvalidated(t *testing.T) {
+	p := testProblem(t, []float64{1, 2}, []float64{5, 5})
+	s1 := p.Sparsity()
+	if !s1.Full {
+		t.Fatal("all-feasible instance reported sparse")
+	}
+	if s2 := p.Sparsity(); s2 != s1 {
+		t.Fatal("Sparsity rebuilt on a second call")
+	}
+	p.Latency[0][1] = 10 * p.MaxLatency
+	if s := p.Sparsity(); s != s1 {
+		t.Fatal("sparsity rebuilt without InvalidateMask")
+	}
+	p.InvalidateMask()
+	s3 := p.Sparsity()
+	if s3 == s1 || s3.Full || s3.NNZ() != 3 {
+		t.Fatalf("InvalidateMask did not refresh sparsity: full=%v nnz=%d", s3.Full, s3.NNZ())
+	}
+	// The mask and sparsity views must agree after invalidation.
+	mask := p.Allowed()
+	if mask[0][1] {
+		t.Fatal("mask stale after InvalidateMask")
+	}
+}

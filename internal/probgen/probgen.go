@@ -103,6 +103,9 @@ func New(r *sim.Rand, spec Spec) (*opt.Problem, error) {
 			return nil, err
 		}
 		loss.ApplyToLatency(prob.Latency, prob.MaxLatency)
+		// The problem is freshly built, but keep the mask invariant local:
+		// any Latency mutation is followed by an invalidation.
+		prob.InvalidateMask()
 	}
 	if err := prob.Validate(); err != nil {
 		return nil, err

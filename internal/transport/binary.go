@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 )
 
 // Compact binary body codec, version 1. The engine's matrix-bearing wire
@@ -200,6 +201,224 @@ func ReadMatrix(b []byte) ([][]float64, []byte, error) {
 		}
 	}
 	return m, b, nil
+}
+
+// --- Kinded matrix frames (v2) ------------------------------------------
+//
+// A dense AppendMatrix frame pays 8 bytes per element even when most
+// entries are structural zeros (latency-masked instances) or unchanged
+// since the estimate the receiver already holds (consecutive CDPSM
+// iterations). A kinded frame prefixes one byte selecting the cheapest of
+// three layouts and keeps the u32 dims header:
+//
+//	[u8 kind] [u32 rows] [u32 cols] ...
+//	kind 0 (full):   values row-major, as AppendMatrix
+//	kind 1 (sparse): u32 count, then (u32 flat index, f64 value) per
+//	                 entry whose bits differ from +0
+//	kind 2 (delta):  u32 count, then (u32 flat index, f64 value) per
+//	                 entry whose bits differ from the shared base matrix
+//
+// Change detection is bitwise (math.Float64bits), so a decoded matrix is
+// bit-identical to the encoded one regardless of kind. Delta frames need
+// the receiver to hold the same base the sender diffed against; the CDPSM
+// estimate protocol negotiates that via iteration ids and falls back to
+// full/sparse when the bases drift.
+const (
+	// MatrixFull is the dense row-major layout.
+	MatrixFull = 0
+	// MatrixSparse enumerates the nonzero entries.
+	MatrixSparse = 1
+	// MatrixDelta enumerates the entries that changed versus a base.
+	MatrixDelta = 2
+)
+
+// matrixFrameStats counts emitted kinded frames per kind, for the
+// benchmark harness's delta-hit-rate report.
+var matrixFrameStats [3]atomic.Uint64
+
+// MatrixFrameStats reports how many kinded matrix frames have been
+// emitted per kind (full, sparse, delta) since the last reset.
+func MatrixFrameStats() (full, sparse, delta uint64) {
+	return matrixFrameStats[MatrixFull].Load(),
+		matrixFrameStats[MatrixSparse].Load(),
+		matrixFrameStats[MatrixDelta].Load()
+}
+
+// ResetMatrixFrameStats zeroes the kinded-frame counters.
+func ResetMatrixFrameStats() {
+	for i := range matrixFrameStats {
+		matrixFrameStats[i].Store(0)
+	}
+}
+
+// AppendMatrixKinded appends m in whichever kinded frame is smallest.
+// base, when non-nil and of identical dims, enables the delta layout;
+// ties prefer the simpler kind (full, then sparse, then delta).
+func AppendMatrixKinded(b []byte, m, base [][]float64) []byte {
+	rows := len(m)
+	cols := 0
+	if rows > 0 {
+		cols = len(m[0])
+	}
+	total := rows * cols
+	nonzero := 0
+	for _, row := range m {
+		for _, x := range row {
+			if math.Float64bits(x) != 0 {
+				nonzero++
+			}
+		}
+	}
+	changed := -1
+	if base != nil && len(base) == rows && (rows == 0 || len(base[0]) == cols) {
+		changed = 0
+		for i, row := range m {
+			for j, x := range row {
+				if math.Float64bits(x) != math.Float64bits(base[i][j]) {
+					changed++
+				}
+			}
+		}
+	}
+	// Body costs beyond the shared kind+dims header: full 8·total,
+	// sparse/delta 4 + 12·count.
+	kind := MatrixFull
+	best := 8 * total
+	if c := 4 + 12*nonzero; c < best {
+		kind, best = MatrixSparse, c
+	}
+	if changed >= 0 {
+		if c := 4 + 12*changed; c < best {
+			kind = MatrixDelta
+		}
+	}
+	matrixFrameStats[kind].Add(1)
+	b = append(b, byte(kind))
+	b = AppendUint32(b, uint32(rows))
+	b = AppendUint32(b, uint32(cols))
+	switch kind {
+	case MatrixFull:
+		for _, row := range m {
+			for _, x := range row {
+				b = AppendFloat64(b, x)
+			}
+		}
+	case MatrixSparse:
+		b = AppendUint32(b, uint32(nonzero))
+		for i, row := range m {
+			for j, x := range row {
+				if math.Float64bits(x) != 0 {
+					b = AppendUint32(b, uint32(i*cols+j))
+					b = AppendFloat64(b, x)
+				}
+			}
+		}
+	case MatrixDelta:
+		b = AppendUint32(b, uint32(changed))
+		for i, row := range m {
+			for j, x := range row {
+				if math.Float64bits(x) != math.Float64bits(base[i][j]) {
+					b = AppendUint32(b, uint32(i*cols+j))
+					b = AppendFloat64(b, x)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// ReadMatrixKinded consumes a kinded matrix frame. base supplies the
+// reference a delta frame was diffed against (it is read, never mutated);
+// decoding a delta without a matching base is an error. The returned
+// matrix is always freshly allocated.
+func ReadMatrixKinded(b []byte, base [][]float64) ([][]float64, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("transport: kinded matrix frame truncated")
+	}
+	kind := b[0]
+	b = b[1:]
+	rows32, b, err := ReadUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols32, b, err := ReadUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, cols := int(rows32), int(cols32)
+	if rows != 0 && cols == 0 {
+		return nil, nil, fmt.Errorf("transport: kinded matrix claims %d rows of zero columns", rows)
+	}
+	// Cap the decoded size at what a dense frame could have carried, so a
+	// corrupt sparse/delta header cannot force a huge allocation.
+	if uint64(rows)*uint64(cols) > MaxFrameBytes/8 {
+		return nil, nil, fmt.Errorf("transport: kinded matrix claims %d×%d elements", rows, cols)
+	}
+	newMatrix := func() [][]float64 {
+		backing := make([]float64, rows*cols)
+		m := make([][]float64, rows)
+		for i := range m {
+			m[i], backing = backing[:cols:cols], backing[cols:]
+		}
+		return m
+	}
+	readEntries := func(m [][]float64) ([]byte, error) {
+		count, rest, err := ReadUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(count)*12 > uint64(len(rest)) {
+			return nil, fmt.Errorf("transport: kinded matrix claims %d entries, %d bytes left", count, len(rest))
+		}
+		if uint64(count) > uint64(rows*cols) {
+			return nil, fmt.Errorf("transport: kinded matrix claims %d entries for %d×%d", count, rows, cols)
+		}
+		for e := uint32(0); e < count; e++ {
+			var idx uint32
+			idx, rest, _ = ReadUint32(rest)
+			var v float64
+			v, rest, _ = ReadFloat64(rest)
+			if int(idx) >= rows*cols {
+				return nil, fmt.Errorf("transport: kinded matrix entry index %d out of %d×%d", idx, rows, cols)
+			}
+			m[int(idx)/cols][int(idx)%cols] = v
+		}
+		return rest, nil
+	}
+	switch kind {
+	case MatrixFull:
+		if uint64(rows)*uint64(cols)*8 > uint64(len(b)) {
+			return nil, nil, fmt.Errorf("transport: kinded matrix claims %d×%d values, %d bytes left", rows, cols, len(b))
+		}
+		m := newMatrix()
+		for i := range m {
+			for j := range m[i] {
+				m[i][j], b, _ = ReadFloat64(b)
+			}
+		}
+		return m, b, nil
+	case MatrixSparse:
+		m := newMatrix()
+		rest, err := readEntries(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, rest, nil
+	case MatrixDelta:
+		if base == nil || len(base) != rows || (rows > 0 && len(base[0]) != cols) {
+			return nil, nil, fmt.Errorf("transport: %d×%d delta matrix frame without a matching base", rows, cols)
+		}
+		m := newMatrix()
+		for i := range m {
+			copy(m[i], base[i])
+		}
+		rest, err := readEntries(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, rest, nil
+	}
+	return nil, nil, fmt.Errorf("transport: unknown matrix frame kind %d", kind)
 }
 
 // BinaryRound reads the u32 LE round id every binary engine request body

@@ -1,0 +1,93 @@
+package edr_test
+
+import (
+	"math"
+	"testing"
+
+	"edr/internal/admm"
+	"edr/internal/cdpsm"
+	"edr/internal/lddm"
+	"edr/internal/opt"
+	"edr/internal/probgen"
+	"edr/internal/sim"
+	"edr/internal/solver"
+)
+
+// FuzzSparseDenseEquiv drives random masked instances through every
+// solver engine twice — once on the dense kernels (SparseOff), once on
+// the packed CSR kernels (SparseForce) — and requires the sparse result
+// to be feasible and within the documented 1e-9 relative objective gap
+// of the dense one. LDDM's packed path additionally preserves the dense
+// op order exactly, so its iterate history must match bit for bit.
+func FuzzSparseDenseEquiv(f *testing.F) {
+	f.Add(uint64(1), uint8(6), uint8(3))
+	f.Add(uint64(42), uint8(10), uint8(4))
+	f.Add(uint64(7), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, clients, replicas uint8) {
+		c := 2 + int(clients)%12
+		n := 2 + int(replicas)%5
+		r := sim.NewRand(seed)
+		prob, err := probgen.MustFeasible(r, probgen.Spec{
+			Clients: c, Replicas: n, Geo: true, DemandLo: 1, DemandHi: 6,
+		})
+		if err != nil {
+			t.Skip("no feasible draw for this seed")
+		}
+		if prob.Sparsity().Full {
+			t.Skip("draw has no structural zeros")
+		}
+		engines := []struct {
+			name  string
+			solve func(mode opt.SparseMode) (*solver.Result, error)
+		}{
+			{"CDPSM", func(m opt.SparseMode) (*solver.Result, error) {
+				s := cdpsm.New()
+				s.MaxIters = 60
+				s.Sparse = m
+				return s.Solve(prob)
+			}},
+			{"LDDM", func(m opt.SparseMode) (*solver.Result, error) {
+				s := lddm.New()
+				s.MaxIters = 200
+				s.Sparse = m
+				return s.Solve(prob)
+			}},
+			{"ADMM", func(m opt.SparseMode) (*solver.Result, error) {
+				s := admm.New()
+				s.MaxIters = 100
+				s.Sparse = m
+				return s.Solve(prob)
+			}},
+		}
+		for _, e := range engines {
+			dense, err := e.solve(opt.SparseOff)
+			if err != nil {
+				t.Fatalf("%s dense: %v", e.name, err)
+			}
+			sparse, err := e.solve(opt.SparseForce)
+			if err != nil {
+				t.Fatalf("%s sparse: %v", e.name, err)
+			}
+			if err := solver.Verify(prob, sparse, 1e-4); err != nil {
+				t.Fatalf("%s sparse result infeasible: %v", e.name, err)
+			}
+			gap := math.Abs(dense.Objective - sparse.Objective)
+			if gap > 1e-9*(1+math.Abs(dense.Objective)) {
+				t.Fatalf("%s objective gap %g (dense %v sparse %v)",
+					e.name, gap, dense.Objective, sparse.Objective)
+			}
+			if e.name == "LDDM" {
+				if dense.Iterations != sparse.Iterations {
+					t.Fatalf("LDDM iterations differ: dense %d sparse %d",
+						dense.Iterations, sparse.Iterations)
+				}
+				for i := range dense.History {
+					if math.Float64bits(dense.History[i]) != math.Float64bits(sparse.History[i]) {
+						t.Fatalf("LDDM history[%d] differs: dense %x sparse %x",
+							i, math.Float64bits(dense.History[i]), math.Float64bits(sparse.History[i]))
+					}
+				}
+			}
+		}
+	})
+}
