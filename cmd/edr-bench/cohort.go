@@ -110,11 +110,18 @@ func runCohortScale(clients int, cohorts string, seed uint64) error {
 		return err
 	}
 	solveTime := time.Since(t0)
+	// Disaggregate through the packed path: gather the reduced solution
+	// onto its sparsity support, expand cohort loads to members slot by
+	// slot, and scatter to a dense matrix only for the final cost/invariant
+	// reporting — no dense |K|x|N| or |C|x|N| intermediates in between.
 	t0 = time.Now()
-	x, err := g.Disaggregate(res.Assignment)
+	fullSp, redSp := g.Sparse()
+	packed, err := g.DisaggregatePacked(redSp.Gather(nil, res.Assignment), nil)
 	if err != nil {
 		return err
 	}
+	x := opt.NewMatrix(g.C(), prob.N())
+	fullSp.Scatter(x, packed)
 	disaggTime := time.Since(t0)
 	if err := g.Check(x, 1e-6); err != nil {
 		return fmt.Errorf("cohort-scale: invariants violated: %w", err)

@@ -47,7 +47,41 @@ type perfReport struct {
 	// kernels and v1 vs v2 wire frames on a 20%-density regional instance.
 	// Optional so reports from pre-sparse builds still diff cleanly.
 	Sparse *sparseScalePerf `json:"sparse_scale,omitempty"`
-	Notes  []string         `json:"notes,omitempty"`
+	// SparseCohort is the 1M-client sparse-cohort entry: one cohorted
+	// round's initiator data plane (warm aggregation, reduced solve,
+	// disaggregation, install columns, notify bodies) through the dense
+	// adapters vs the packed end-to-end path core now runs. Optional so
+	// reports from earlier builds still diff cleanly.
+	SparseCohort *sparseCohortPerf `json:"sparse_cohort,omitempty"`
+	Notes        []string          `json:"notes,omitempty"`
+}
+
+// sparseCohortPerf pins the packed-pipeline claim at client scale: a
+// cohorted round over 1M clients at ~20% density, dense adapters
+// (AggregateRows/Disaggregate plus dense column and per-client notify
+// construction) vs the packed path (CSR gather/scatter adapters, CSC
+// install columns, per-cohort notify bodies, one final dense scatter for
+// the report). Grouping and the sparsity builds are identical on both
+// sides and excluded (GroupNs reports them); the reduced solve is
+// included in both. AggDisagg isolates the aggregation/disaggregation
+// phase the ≥3x tripwire guards.
+type sparseCohortPerf struct {
+	Clients  int     `json:"clients"`
+	Regions  int     `json:"regions"`
+	Replicas int     `json:"replicas"`
+	Density  float64 `json:"density"`
+	Cohorts  int     `json:"cohorts"`
+	Ratio    float64 `json:"compression_ratio"`
+	MaxIters int     `json:"max_iters"`
+	GroupNs  int64   `json:"group_ns"`
+
+	DenseRoundNs  int64   `json:"dense_round_ns_per_op"`
+	PackedRoundNs int64   `json:"packed_round_ns_per_op"`
+	RoundSpeedup  float64 `json:"round_speedup_vs_dense"`
+
+	DenseAggDisaggNs  int64   `json:"dense_aggdisagg_ns_per_op"`
+	PackedAggDisaggNs int64   `json:"packed_aggdisagg_ns_per_op"`
+	AggDisaggSpeedup  float64 `json:"aggdisagg_speedup_vs_dense"`
 }
 
 // sparseScalePerf pins the sparse-core claims: kernel speedup of the
@@ -113,6 +147,19 @@ type wirePerf struct {
 	FullFrames   uint64  `json:"full_frames"`
 	SparseFrames uint64  `json:"sparse_frames"`
 	DeltaFrames  uint64  `json:"delta_frames"`
+	DeltaHitRate float64 `json:"delta_hit_rate"`
+	// FramesByAlgorithm is the same measurement per algorithm: CDPSM pulls
+	// estimate matrices, LDDM ships μ-vectors, ADMM ships proximal
+	// targets — each through the kinded chooser with per-peer delta-base
+	// negotiation.
+	FramesByAlgorithm map[string]frameMix `json:"frames_by_algorithm,omitempty"`
+}
+
+// frameMix is one live round's kinded-frame census.
+type frameMix struct {
+	Full         uint64  `json:"full"`
+	Sparse       uint64  `json:"sparse"`
+	Delta        uint64  `json:"delta"`
 	DeltaHitRate float64 `json:"delta_hit_rate"`
 }
 
@@ -226,6 +273,15 @@ func runPerf(outDir string, seed uint64, baseline string) error {
 		sp.Clients, 100*sp.Density, sp.DenseNs, sp.SparseNs, sp.Speedup,
 		sp.WireV1BytesPerIteration, sp.WireV2BytesPerIteration, sp.WireRatio)
 
+	sc, err := measureSparseCohort(seed)
+	if err != nil {
+		return err
+	}
+	report.SparseCohort = sc
+	fmt.Printf("perf spcoh  %d clients -> %d cohorts at %.0f%% density; round dense %12d ns/op  packed %12d ns/op  speedup %.1fx; agg+disagg %12d vs %12d ns/op (%.1fx)\n",
+		sc.Clients, sc.Cohorts, 100*sc.Density, sc.DenseRoundNs, sc.PackedRoundNs, sc.RoundSpeedup,
+		sc.DenseAggDisaggNs, sc.PackedAggDisaggNs, sc.AggDisaggSpeedup)
+
 	if outDir == "" {
 		outDir = "."
 	}
@@ -315,6 +371,22 @@ func diffBaseline(fresh *perfReport, path string) error {
 			regressions = append(regressions, fmt.Sprintf(
 				"sparse-scale wire saving fell to %.1fx (baseline %.1fx, floor %gx)",
 				fresh.Sparse.WireRatio, base.Sparse.WireRatio, wireFloor))
+		}
+	}
+	// Sparse-cohort tripwires, relative like the gates above: the packed
+	// aggregation/disaggregation phase must stay ≥3x over the dense
+	// adapters at 1M clients, and the packed round end to end ≥5x.
+	if base.SparseCohort != nil && fresh.SparseCohort != nil {
+		const aggFloor, roundFloor = 3.0, 5.0
+		if base.SparseCohort.AggDisaggSpeedup >= aggFloor && fresh.SparseCohort.AggDisaggSpeedup < aggFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"sparse-cohort agg/disagg speedup fell to %.1fx (baseline %.1fx, floor %gx)",
+				fresh.SparseCohort.AggDisaggSpeedup, base.SparseCohort.AggDisaggSpeedup, aggFloor))
+		}
+		if base.SparseCohort.RoundSpeedup >= roundFloor && fresh.SparseCohort.RoundSpeedup < roundFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"sparse-cohort round speedup fell to %.1fx (baseline %.1fx, floor %gx)",
+				fresh.SparseCohort.RoundSpeedup, base.SparseCohort.RoundSpeedup, roundFloor))
 		}
 	}
 	if len(regressions) > 0 {
@@ -508,12 +580,35 @@ func measureSparseScale(seed uint64) (*sparseScalePerf, error) {
 	return sp, nil
 }
 
-// measureDeltaHitRate runs one live CDPSM round on an in-process fleet
-// (5 replicas, 8 clients, latency-masked links) and reads the kinded
-// matrix frame counters: every estimate reply the round ships is counted
-// by kind, giving the measured delta-frame hit rate of the
-// consecutive-iteration exchange protocol.
+// measureDeltaHitRate runs one live round per algorithm on an in-process
+// fleet (5 replicas, latency-masked links) and reads the kinded matrix
+// frame counters: every kinded body the round ships — CDPSM estimate
+// matrices, LDDM μ-vectors, ADMM proximal targets — is counted by kind,
+// giving the measured delta-frame hit rate of the per-peer base
+// negotiation. The CDPSM numbers also fill the report's historical
+// top-level fields.
 func measureDeltaHitRate(w *wirePerf) error {
+	w.FramesByAlgorithm = make(map[string]frameMix, 3)
+	for _, alg := range []core.Algorithm{core.CDPSM, core.LDDM, core.ADMM} {
+		mix, err := liveRoundFrames(alg)
+		if err != nil {
+			return fmt.Errorf("%s live round: %w", alg, err)
+		}
+		w.FramesByAlgorithm[string(alg)] = mix
+		if alg == core.CDPSM {
+			w.FullFrames, w.SparseFrames, w.DeltaFrames = mix.Full, mix.Sparse, mix.Delta
+			w.DeltaHitRate = mix.DeltaHitRate
+		}
+	}
+	return nil
+}
+
+// liveRoundFrames runs one round of alg over a masked in-process fleet
+// and returns the kinded-frame census. The client count is sized so
+// vectors are large enough for the delta layout to win once per-client
+// values go bit-stable (LDDM μ for exactly-served clients, ADMM targets
+// for clamped ones, CDPSM estimates between consensus steps).
+func liveRoundFrames(alg core.Algorithm) (frameMix, error) {
 	net := transport.NewInProcNetwork()
 	prices := []float64{1, 3, 5, 7, 9}
 	names := make([]string, len(prices))
@@ -526,14 +621,27 @@ func measureDeltaHitRate(w *wirePerf) error {
 			rs.Close()
 		}
 	}()
+	nClients := 8
+	maxIters := 25
+	tol := 0.0
+	if alg != core.CDPSM {
+		nClients = 32 // per-client vectors: give the delta layout room
+	}
+	if alg == core.ADMM {
+		// ADMM's proximal targets only go bit-stable as the iterates close
+		// on the fixed point; run well past the default 2% convergence
+		// bar so the delta layout has stable entries to exploit.
+		maxIters, tol = 60, 1e-9
+	}
 	for i, price := range prices {
 		rs, err := core.NewReplicaServer(net, names[i], names, core.ReplicaConfig{
 			Replica:   model.NewReplica(names[i], price),
-			Algorithm: core.CDPSM,
-			MaxIters:  25,
+			Algorithm: alg,
+			MaxIters:  maxIters,
+			Tol:       tol,
 		})
 		if err != nil {
-			return err
+			return frameMix{}, err
 		}
 		servers = append(servers, rs)
 	}
@@ -545,36 +653,265 @@ func measureDeltaHitRate(w *wirePerf) error {
 			cl.Close()
 		}
 	}()
-	for i := 0; i < 8; i++ {
+	for i := 0; i < nClients; i++ {
 		cl, err := core.NewClient(net, fmt.Sprintf("c%d", i+1))
 		if err != nil {
-			return err
+			return frameMix{}, err
 		}
 		clients = append(clients, cl)
 		lat := make(map[string]float64, len(names))
 		for j, name := range names {
 			// Mask two of the five replicas per client (rotating), leaving
 			// a ~60%-density instance so sparse and delta layouts compete.
-			if (i+j)%5 < 2 {
+			// Every other client is pinned to a single nearby replica (the
+			// common geo shape): its column entry rides the proximal cap
+			// clamp, which is what gives ADMM targets bit-stable entries
+			// for the delta layout to exploit.
+			masked := (i+j)%5 < 2
+			if i%2 == 0 {
+				masked = j != i%len(names)
+			}
+			if masked {
 				lat[name] = 1 // far beyond any latency bound
 			} else {
 				lat[name] = 0.0005
 			}
 		}
-		if err := cl.Submit(ctx, names[0], 10+float64(i)*3, lat); err != nil {
-			return err
+		// Size demands so the aggregate stays ~1/3 of the 500 MB fleet
+		// bandwidth at either client count — 32 clients of 10+3i MB would
+		// be infeasible outright.
+		demand := (10 + float64(i%8)*3) * 8 / float64(nClients)
+		if err := cl.Submit(ctx, names[0], demand, lat); err != nil {
+			return frameMix{}, err
 		}
 	}
 	transport.ResetMatrixFrameStats()
 	if _, err := servers[0].RunRound(ctx); err != nil {
-		return err
+		return frameMix{}, err
 	}
 	full, sparse, delta := transport.MatrixFrameStats()
-	w.FullFrames, w.SparseFrames, w.DeltaFrames = full, sparse, delta
+	mix := frameMix{Full: full, Sparse: sparse, Delta: delta}
 	if total := full + sparse + delta; total > 0 {
-		w.DeltaHitRate = float64(delta) / float64(total)
+		mix.DeltaHitRate = float64(delta) / float64(total)
 	}
-	return nil
+	return mix, nil
+}
+
+// measureSparseCohort times one cohorted round's initiator data plane at
+// 1M clients / 50 regions, masked to the 2 nearest replicas per client
+// (~20% density): warm-start aggregation, the reduced solve, result
+// disaggregation, per-replica install columns, and client-notify body
+// construction — once through the dense cohort adapters (the pre-packed
+// path) and once through the packed CSR/CSC pipeline core now runs,
+// ending in the packed path's one dense scatter for the report matrix.
+// Grouping and the (cached) mask/sparsity builds are identical on both
+// sides and run once up front; each side takes the best of three rounds.
+func measureSparseCohort(seed uint64) (*sparseCohortPerf, error) {
+	const clients, replicas, regions, iters, keep = 1_000_000, 10, 50, 25, 2
+	prob, err := probgen.New(sim.NewRand(seed), probgen.Spec{
+		Clients:  clients,
+		Replicas: replicas,
+		Regions:  regions,
+		DemandLo: 5e-5,
+		DemandHi: 5e-4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range prob.Latency {
+		row := prob.Latency[i]
+		idx := make([]int, len(row))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		for _, j := range idx[keep:] {
+			row[j] = 10 * prob.MaxLatency
+		}
+	}
+	prob.InvalidateMask()
+
+	t0 := time.Now()
+	g, err := cohort.Group(prob, cohort.Options{})
+	if err != nil {
+		return nil, err
+	}
+	groupNs := time.Since(t0).Nanoseconds()
+	// Feasibility on the reduced instance: homogeneous-mask cohorts make
+	// the answer identical to the ungrouped one (§10), at |K| max-flow
+	// rows instead of 1M — minutes of oracle otherwise.
+	if err := opt.CheckFeasible(g.Reduced()); err != nil {
+		return nil, fmt.Errorf("sparse-cohort instance: %w", err)
+	}
+	fullSp, redSp := g.Sparse() // primes both cached sparsity views
+
+	warm, err := prob.UniformStart() // stands in for the last-good history
+	if err != nil {
+		return nil, err
+	}
+	repAddrs := make([]string, replicas)
+	for j := range repAddrs {
+		repAddrs[j] = prob.System.Replicas[j].Name
+	}
+	s := cdpsm.New()
+	s.MaxIters = iters
+	reduced := g.Reduced()
+	sink := 0.0
+
+	// Dense round: AggregateRows → solve → Disaggregate → dense column
+	// reads → one per-replica allocation body built and marshaled per
+	// client (the pre-packed notify path marshals |C| messages). The
+	// disaggregated matrix doubles as the report matrix for free.
+	denseRound := func() (total, agg time.Duration, err error) {
+		start := time.Now()
+		ta := time.Now()
+		warmK := g.AggregateRows(warm)
+		agg += time.Since(ta)
+		sink += warmK[0][0]
+		res, err := s.Solve(reduced)
+		if err != nil {
+			return 0, 0, err
+		}
+		ta = time.Now()
+		x, err := g.Disaggregate(res.Assignment)
+		if err != nil {
+			return 0, 0, err
+		}
+		agg += time.Since(ta)
+		for j := 0; j < replicas; j++ {
+			col := make([]float64, clients)
+			for i := range col {
+				col[i] = x[i][j]
+			}
+			sink += col[clients-1]
+		}
+		for i := 0; i < clients; i++ {
+			per := make(map[string]float64, keep)
+			for j := 0; j < replicas; j++ {
+				if x[i][j] > 0 {
+					per[repAddrs[j]] = x[i][j]
+				}
+			}
+			b, err := json.Marshal(core.AllocationBody{Round: 1, PerReplicaMB: per, Algorithm: "cdpsm", Iterations: iters})
+			if err != nil {
+				return 0, 0, err
+			}
+			sink += float64(len(b))
+		}
+		return time.Since(start), agg, nil
+	}
+
+	// Packed round: packed aggregation + scatter to the reduced spec shape
+	// → solve → gather + packed disaggregation → CSC install columns →
+	// one notify body built and marshaled per cohort (members share it; the
+	// fan-out sends are network, not initiator CPU) → final dense scatter
+	// for the report.
+	warmBuf := make([]float64, redSp.NNZ())
+	warmKmat := opt.NewMatrix(g.K(), replicas)
+	vkBuf := make([]float64, redSp.NNZ())
+	xBuf := make([]float64, fullSp.NNZ())
+	packedRound := func() (total, agg time.Duration, err error) {
+		start := time.Now()
+		ta := time.Now()
+		warmPk := g.AggregateRowsPacked(warm, warmBuf)
+		redSp.Scatter(warmKmat, warmPk)
+		agg += time.Since(ta)
+		sink += warmKmat[0][0]
+		res, err := s.Solve(reduced)
+		if err != nil {
+			return 0, 0, err
+		}
+		ta = time.Now()
+		vk := redSp.Gather(vkBuf, res.Assignment)
+		xPk, err := g.DisaggregatePacked(vk, xBuf)
+		if err != nil {
+			return 0, 0, err
+		}
+		agg += time.Since(ta)
+		for j := 0; j < replicas; j++ {
+			col := make([]float64, clients)
+			for s := fullSp.ColStart[j]; s < fullSp.ColStart[j+1]; s++ {
+				col[fullSp.RowIdx[s]] = xPk[fullSp.PosCSR[s]]
+			}
+			sink += col[clients-1]
+		}
+		for k := 0; k < g.K(); k++ {
+			kb, ke := redSp.RowStart[k], redSp.RowStart[k+1]
+			unit := make([]float64, ke-kb)
+			addrs := make([]string, ke-kb)
+			sum := 0.0
+			for t := range unit {
+				v := vk[kb+t]
+				if v < 0 {
+					v = 0
+				}
+				unit[t], addrs[t] = v, repAddrs[redSp.ColIdx[kb+t]]
+				sum += v
+			}
+			if sum > 0 {
+				for t := range unit {
+					unit[t] /= sum
+				}
+			}
+			b, err := json.Marshal(core.CohortAllocationBody{Round: 1, Algorithm: "cdpsm", Iterations: iters, Replicas: addrs, UnitMB: unit})
+			if err != nil {
+				return 0, 0, err
+			}
+			sink += float64(len(b))
+		}
+		full := opt.NewMatrix(clients, replicas)
+		fullSp.Scatter(full, xPk)
+		sink += full[clients-1][0]
+		return time.Since(start), agg, nil
+	}
+
+	best := func(round func() (time.Duration, time.Duration, error)) (time.Duration, time.Duration, error) {
+		var bTotal, bAgg time.Duration
+		for run := 0; run < 3; run++ {
+			total, agg, err := round()
+			if err != nil {
+				return 0, 0, err
+			}
+			if bTotal == 0 || total < bTotal {
+				bTotal = total
+			}
+			if bAgg == 0 || agg < bAgg {
+				bAgg = agg
+			}
+		}
+		return bTotal, bAgg, nil
+	}
+	denseTotal, denseAgg, err := best(denseRound)
+	if err != nil {
+		return nil, err
+	}
+	packedTotal, packedAgg, err := best(packedRound)
+	if err != nil {
+		return nil, err
+	}
+	_ = sink
+
+	sc := &sparseCohortPerf{
+		Clients:           clients,
+		Regions:           regions,
+		Replicas:          replicas,
+		Density:           float64(fullSp.NNZ()) / float64(clients*replicas),
+		Cohorts:           g.K(),
+		Ratio:             g.Ratio(),
+		MaxIters:          iters,
+		GroupNs:           groupNs,
+		DenseRoundNs:      denseTotal.Nanoseconds(),
+		PackedRoundNs:     packedTotal.Nanoseconds(),
+		DenseAggDisaggNs:  denseAgg.Nanoseconds(),
+		PackedAggDisaggNs: packedAgg.Nanoseconds(),
+	}
+	if sc.PackedRoundNs > 0 {
+		sc.RoundSpeedup = float64(sc.DenseRoundNs) / float64(sc.PackedRoundNs)
+	}
+	if sc.PackedAggDisaggNs > 0 {
+		sc.AggDisaggSpeedup = float64(sc.DenseAggDisaggNs) / float64(sc.PackedAggDisaggNs)
+	}
+	return sc, nil
 }
 
 // measureWire frames one C×N estimate reply through both codecs and

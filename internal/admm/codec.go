@@ -2,15 +2,18 @@ package admm
 
 import "edr/internal/transport"
 
-// Compact binary codecs (transport binary body v1) for the ADMM verbs:
-// the proximal target vector out, the updated column back. Request bodies
-// lead with the u32 LE round id per the wire convention.
+// Compact binary codecs for the ADMM verbs: the proximal target vector
+// out, the updated column back. Request bodies lead with the u32 LE
+// round id per the wire convention. The target rides in a v2 kinded
+// frame: a u32 declares the negotiated base iteration (0 = none, else
+// iter+1), then the full/sparse/delta layout the chooser picked.
 
 func (b ProxBody) MarshalBinary() ([]byte, error) {
 	out := transport.AppendUint32(nil, uint32(b.Round))
 	out = transport.AppendUint32(out, uint32(b.Iter))
 	out = transport.AppendFloat64(out, b.Rho)
-	return transport.AppendFloats(out, b.Target), nil
+	out = transport.AppendUint32(out, uint32(b.BaseIter+1))
+	return transport.AppendFloatsKinded(out, b.Target, b.Base), nil
 }
 
 func (b *ProxBody) UnmarshalBinary(data []byte) error {
@@ -26,11 +29,20 @@ func (b *ProxBody) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	target, _, err := transport.ReadFloats(data)
+	baseIter, data, err := transport.ReadUint32(data)
 	if err != nil {
 		return err
 	}
-	b.Round, b.Iter, b.Rho, b.Target = int(round), int(iter), rho, target
+	b.Round, b.Iter, b.Rho, b.BaseIter = int(round), int(iter), rho, int(baseIter)-1
+	var base []float64
+	if b.BaseIter >= 0 && b.Resolve != nil {
+		base = b.Resolve(b.BaseIter)
+	}
+	target, _, err := transport.ReadFloatsKinded(data, base)
+	if err != nil {
+		return err
+	}
+	b.Target = target
 	return nil
 }
 

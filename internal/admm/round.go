@@ -7,18 +7,33 @@ import (
 
 	"edr/internal/engine"
 	"edr/internal/opt"
+	"edr/internal/transport"
 )
 
 // MsgProx is initiator → replica: solve the replica's proximal subproblem
 // against an initiator-assembled target and return the new column.
 const MsgProx = "replica.admm.prox"
 
-// ProxBody carries one replica's proximal target.
+// ProxBody carries one replica's proximal target. On the binary codec
+// the target rides in a kinded frame (full/sparse/delta) with per-peer
+// base negotiation: BaseIter declares which earlier iteration's target
+// the receiver already holds; Base/Resolve are marshal/decode context in
+// the transport convention (never serialized). JSON always carries the
+// full vector.
 type ProxBody struct {
 	Round  int       `json:"round"`
 	Iter   int       `json:"iter"`
 	Rho    float64   `json:"rho"`
 	Target []float64 `json:"target"`
+
+	// BaseIter is the iteration id of the target snapshot the receiver
+	// holds (−1: none). Binary codec only.
+	BaseIter int `json:"-"`
+	// Base is the sender's copy of that snapshot (marshal-time context).
+	Base []float64 `json:"-"`
+	// Resolve maps a declared base iteration to the receiver's held
+	// snapshot (decode-time context).
+	Resolve func(iter int) []float64 `json:"-"`
 }
 
 // ProxReply returns the replica's updated column z_n.
@@ -46,6 +61,8 @@ type roundAlg struct {
 
 	z          [][]float64 // transposed: z[replica][client]
 	targets    [][]float64 // per-replica proximal targets, same layout
+	sp         *opt.Sparsity
+	tx         transport.DeltaTx
 	u          []float64
 	warmU      []float64 // additive dual offset from the previous round
 	share      []float64
@@ -90,6 +107,14 @@ func (a *roundAlg) Init(rd *engine.Round) error {
 			}
 		}
 	}
+	if sp := rd.Prob.Sparsity(); opt.SparseAuto.Enabled(sp) {
+		// Masked instance: each replica's proximal solve reads only its
+		// feasible clients' targets, so build (and ship) the target
+		// projected onto that support. The structural zeros are bit-stable
+		// across iterations, which lets the kinded wire frames go sparse
+		// or delta.
+		a.sp = sp
+	}
 	a.warmU = make([]float64, c) // escapes via Duals; not pool-owned
 	if len(rd.WarmMu) == c {
 		// Warm-start the scaled dual: the clients accumulate μ from zero
@@ -108,12 +133,26 @@ func (a *roundAlg) Init(rd *engine.Round) error {
 			Class: engine.Replicas,
 			Body: func(j int) any {
 				t := a.targets[j]
-				for i := 0; i < c; i++ {
-					t[i] = a.z[j][i] - a.rowAvg[i] + a.share[i] - a.u[i]
+				if a.sp != nil {
+					// Off-support entries stay zero: the pooled row was
+					// zeroed at acquisition and is only ever written here.
+					for s := a.sp.ColStart[j]; s < a.sp.ColStart[j+1]; s++ {
+						i := a.sp.RowIdx[s]
+						t[i] = a.z[j][i] - a.rowAvg[i] + a.share[i] - a.u[i]
+					}
+				} else {
+					for i := 0; i < c; i++ {
+						t[i] = a.z[j][i] - a.rowAvg[i] + a.share[i] - a.u[i]
+					}
 				}
-				return ProxBody{Round: rd.Seq, Iter: a.k, Rho: a.rho, Target: t}
+				body := ProxBody{Round: rd.Seq, Iter: a.k, Rho: a.rho, Target: t}
+				body.Base, body.BaseIter = a.tx.Stage(rd.ReplicaAddrs[j], a.k, t)
+				return body
 			},
 			Fold: func(j int, r engine.Reply) error {
+				// The reply proves the peer decoded (and now holds) the
+				// staged target — promote it to the delta base.
+				a.tx.Ack(rd.ReplicaAddrs[j])
 				var reply ProxReply
 				if err := r.Decode(&reply); err != nil {
 					return err
@@ -230,20 +269,17 @@ type serverState struct {
 
 	clients []int     // packed ascending client ids (nil on full instances)
 	capsPk  []float64 // caps aligned with clients
+
+	rx transport.DeltaRx // delta-frame receive window for the target stream
 }
 
 // serverHalf answers MsgProx on a participant replica.
 type serverHalf struct{}
 
 func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr *engine.ServerRound) (any, error) {
-	var body ProxBody
-	if err := req.Decode(&body); err != nil {
-		return nil, err
-	}
 	c := sr.Prob.C()
-	if len(body.Target) != c {
-		return nil, fmt.Errorf("admm: round %d: %d targets for %d clients", body.Round, len(body.Target), c)
-	}
+	// Fetch (or build) the round state before decoding: a delta target
+	// frame resolves its base from the receive window.
 	st, err := sr.State("ADMM", func() (any, error) {
 		s := &serverState{}
 		if sp := sr.Prob.Sparsity(); opt.SparseAuto.Enabled(sp) {
@@ -267,6 +303,15 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		return nil, err
 	}
 	ps := st.(*serverState)
+	var body ProxBody
+	body.Resolve = ps.rx.Resolve
+	if err := req.Decode(&body); err != nil {
+		return nil, err
+	}
+	if len(body.Target) != c {
+		return nil, fmt.Errorf("admm: round %d: %d targets for %d clients", body.Round, len(body.Target), c)
+	}
+	ps.rx.Absorb(body.Iter, body.Target)
 	// Both proximal kernels are stateless over read-only inputs, so
 	// concurrent solves need no lock.
 	if ps.clients != nil {

@@ -7,6 +7,7 @@ import (
 
 	"edr/internal/engine"
 	"edr/internal/opt"
+	"edr/internal/transport"
 )
 
 // CDPSM wire protocol. The initiator drives the synchronous iteration of
@@ -211,9 +212,10 @@ func checkShape(x [][]float64, c, n int) error {
 // estimate its peers may pull, the staged successor awaiting commit, the
 // previous committed estimate kept as the delta base for peers one
 // iteration behind, and a cache of each peer's last pulled estimate (the
-// requester-side half of the delta protocol). Committed matrices are
-// replaced wholesale on commit and never mutated in place, so serving
-// prev as a marshal-time delta base outside the lock is safe.
+// requester-side half of the delta protocol, on the shared transport
+// machinery). Committed matrices are replaced wholesale on commit and
+// never mutated in place, so serving prev as a marshal-time delta base
+// outside the lock is safe.
 type serverState struct {
 	mu            sync.Mutex
 	committed     [][]float64
@@ -222,8 +224,7 @@ type serverState struct {
 	prevIter      int
 	staged        [][]float64
 	stagedIter    int
-	peerEst       map[string][][]float64
-	peerIter      map[string]int
+	peers         transport.MatrixBaseCache
 }
 
 // serverHalf answers the three CDPSM verbs on a participant replica.
@@ -313,10 +314,6 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 	c, n := sr.Prob.C(), sr.Prob.N()
 	st.mu.Lock()
 	own := opt.Clone(st.committed)
-	if st.peerEst == nil {
-		st.peerEst = make(map[string][][]float64)
-		st.peerIter = make(map[string]int)
-	}
 	st.mu.Unlock()
 	estimates := make([][][]float64, 0, len(sr.ReplicaAddrs))
 	estimates = append(estimates, own)
@@ -327,13 +324,7 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 		// Declare the iteration id of this peer's last pulled estimate so
 		// the peer can answer with a delta frame against it; decode with
 		// that cached matrix as the base.
-		st.mu.Lock()
-		base := st.peerEst[addr]
-		baseIter := -1
-		if base != nil {
-			baseIter = st.peerIter[addr]
-		}
-		st.mu.Unlock()
+		base, baseIter := st.peers.Get(addr)
 		resp, err := sr.Peers.Send(ctx, addr, MsgEstimate, EstimateBody{Round: sr.Round, Base: baseIter})
 		if err != nil {
 			return StepReply{}, fmt.Errorf("cdpsm: step: fetch estimate from %s: %w", addr, err)
@@ -345,10 +336,7 @@ func handleStep(ctx context.Context, body *StepBody, sr *engine.ServerRound) (St
 		if err := checkShape(er.Estimate, c, n); err != nil {
 			return StepReply{}, fmt.Errorf("cdpsm: estimate from %s: %w", addr, err)
 		}
-		st.mu.Lock()
-		st.peerEst[addr] = er.Estimate
-		st.peerIter[addr] = er.Iter
-		st.mu.Unlock()
+		st.peers.Put(addr, er.Iter, er.Estimate)
 		estimates = append(estimates, er.Estimate)
 	}
 

@@ -144,6 +144,7 @@ func (g *Grouping) buildReduced(mask [][]bool) *opt.Problem {
 	n := g.orig.N()
 	demands := make([]float64, len(g.members))
 	latency := opt.NewMatrix(len(g.members), n)
+	reducedMask := make([][]bool, len(g.members))
 	inf := InfeasibleLatency(g.orig.MaxLatency)
 	for k, mem := range g.members {
 		total := 0.0
@@ -152,6 +153,9 @@ func (g *Grouping) buildReduced(mask [][]bool) *opt.Problem {
 		}
 		demands[k] = total
 		lead := mem[0]
+		// The cohort's mask IS the shared member mask — alias the lead
+		// member's row (mask rows are read-only shared state).
+		reducedMask[k] = mask[lead]
 		for j := 0; j < n; j++ {
 			if !mask[lead][j] {
 				latency[k][j] = inf
@@ -169,12 +173,18 @@ func (g *Grouping) buildReduced(mask [][]bool) *opt.Problem {
 			latency[k][j] = num / den
 		}
 	}
-	return &opt.Problem{
+	p := &opt.Problem{
 		System:     g.orig.System,
 		Demands:    demands,
 		Latency:    latency,
 		MaxLatency: g.orig.MaxLatency,
 	}
+	// Prime the reduced problem's cached feasibility views: the grouping
+	// already knows the cohort masks exactly, so the first solver (or
+	// packed-adapter) touch must not re-derive them from the sentinel
+	// latencies. The |K|×|N| sparsity build is cheap next to grouping.
+	p.PrimeMask(reducedMask, opt.NewSparsity(reducedMask))
+	return p
 }
 
 // K returns the cohort count |K|.
@@ -199,6 +209,10 @@ func (g *Grouping) CohortOf(c int) int { return g.of[c] }
 // Reduced returns the cohort-level problem the distributed rounds solve.
 // Read-only; it shares the original problem's System.
 func (g *Grouping) Reduced() *opt.Problem { return g.reduced }
+
+// Orig returns the full per-client problem the grouping was built from.
+// Read-only.
+func (g *Grouping) Orig() *opt.Problem { return g.orig }
 
 // Disaggregate maps a cohort-level assignment (|K|×|N|) back to a
 // per-client one (|C|×|N|): each member receives its cohort's split

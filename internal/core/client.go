@@ -19,9 +19,10 @@ import (
 type Client struct {
 	node transport.Node
 
-	mu    sync.Mutex
-	mus   map[string]float64 // multiplier per (initiator, round)
-	alloc chan AllocationBody
+	mu     sync.Mutex
+	mus    map[string]float64 // multiplier per (initiator, round)
+	demand float64            // last submitted demand, for cohort allocations
+	alloc  chan AllocationBody
 
 	// Stats counts client activity.
 	Stats ClientStats
@@ -60,6 +61,8 @@ func (c *Client) handle(ctx context.Context, req transport.Message) (transport.M
 		return c.handleMuUpdate(req)
 	case MsgAllocation:
 		return c.handleAllocation(req)
+	case MsgCohortAllocation:
+		return c.handleCohortAllocation(req)
 	default:
 		return transport.Message{}, fmt.Errorf("core: client %s: unknown message type %q", c.Addr(), req.Type)
 	}
@@ -97,6 +100,47 @@ func (c *Client) handleAllocation(req transport.Message) (transport.Message, err
 	return transport.NewMessage(MsgAllocation+".ack", c.Addr(), nil)
 }
 
+// handleCohortAllocation expands a cohort-level allocation into this
+// client's own per-replica split (unit share × own demand) and records it
+// like a legacy allocation — WaitAllocation callers see no difference.
+// The demand is the client's own last-submitted figure: cohort members
+// split cohort load proportionally to demand, so the unit vector times
+// R_c reproduces the member row the initiator installed (a client that
+// re-submits a different demand mid-round sees one transiently scaled
+// allocation; the next round solves with the new figure).
+func (c *Client) handleCohortAllocation(req transport.Message) (transport.Message, error) {
+	var body CohortAllocationBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	if len(body.UnitMB) != len(body.Replicas) {
+		return transport.Message{}, fmt.Errorf("core: client %s: %d unit entries for %d replicas",
+			c.Addr(), len(body.UnitMB), len(body.Replicas))
+	}
+	c.mu.Lock()
+	demand := c.demand
+	c.mu.Unlock()
+	per := make(map[string]float64, len(body.Replicas))
+	for t, addr := range body.Replicas {
+		if v := body.UnitMB[t] * demand; v > 0 {
+			per[addr] = v
+		}
+	}
+	alloc := AllocationBody{
+		Round:        body.Round,
+		PerReplicaMB: per,
+		Algorithm:    body.Algorithm,
+		Iterations:   body.Iterations,
+	}
+	c.Stats.Allocations.Inc(1)
+	select {
+	case c.alloc <- alloc:
+	default:
+		// Drop rather than block the initiator, as with legacy allocations.
+	}
+	return transport.NewMessage(MsgAllocation+".ack", c.Addr(), nil)
+}
+
 // Ping measures the round-trip time to a replica by timing a
 // replica.info exchange, returning the estimated one-way latency. Clients
 // use it to build the latency map Submit requires, mirroring the paper's
@@ -117,6 +161,9 @@ func (c *Client) Ping(ctx context.Context, replicaAddr string) (time.Duration, e
 // address → measured one-way latency seconds (the client's view of the
 // network); replicas absent from the map are not candidates.
 func (c *Client) Submit(ctx context.Context, contactReplica string, demandMB float64, latencies map[string]float64) error {
+	c.mu.Lock()
+	c.demand = demandMB
+	c.mu.Unlock()
 	body := RequestBody{ClientAddr: c.Addr(), DemandMB: demandMB, LatencySec: latencies}
 	req, err := transport.NewMessage(MsgClientRequest, c.Addr(), body)
 	if err != nil {

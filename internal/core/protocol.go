@@ -41,6 +41,11 @@ const (
 	MsgAssign = "replica.assign"
 	// MsgAllocation is initiator → client: deliver the final allocation.
 	MsgAllocation = "client.allocation"
+	// MsgCohortAllocation is initiator → client on cohorted rounds: deliver
+	// the client's cohort-level allocation (shared per-unit split + member
+	// demands) in one message built once per cohort. Clients that do not
+	// know the verb reject it and receive the legacy MsgAllocation instead.
+	MsgCohortAllocation = "client.allocation.cohort"
 	// MsgDownload is client → replica: fetch the selected bytes.
 	MsgDownload = "download.request"
 )
@@ -147,6 +152,25 @@ type AllocationBody struct {
 	Algorithm string `json:"algorithm"`
 	// Iterations is how many distributed iterations the round ran.
 	Iterations int `json:"iterations"`
+}
+
+// CohortAllocationBody is the batched form of AllocationBody for cohorted
+// rounds: one body, built and marshaled once per cohort, is delivered to
+// every member. A member reconstructs its own split as UnitMB[t]·R_c on
+// Replicas[t] with R_c its own submitted demand — cohort members share a
+// feasibility mask and latency class, so the per-unit split is common by
+// construction and only the demand scale is per-member. The body is
+// therefore O(feasible replicas), independent of cohort population.
+type CohortAllocationBody struct {
+	Round int `json:"round"`
+	// Algorithm and Iterations mirror AllocationBody.
+	Algorithm  string `json:"algorithm"`
+	Iterations int    `json:"iterations"`
+	// Replicas lists the cohort's feasible replica addresses.
+	Replicas []string `json:"replicas"`
+	// UnitMB[t] is the fraction of a member's demand served by Replicas[t]
+	// (sums to 1 when the cohort carries load).
+	UnitMB []float64 `json:"unit_mb"`
 }
 
 // DownloadBody requests bytes from a replica.

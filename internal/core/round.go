@@ -99,12 +99,9 @@ func (e *failedMemberError) Error() string {
 
 func (e *failedMemberError) Unwrap() error { return e.err }
 
-// send performs one coordination RPC attempt with the configured timeout.
-func (r *ReplicaServer) send(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
-	req, err := r.newMessage(msgType, body)
-	if err != nil {
-		return transport.Message{}, err
-	}
+// sendMsg performs one coordination RPC attempt of a prebuilt message
+// with the configured timeout.
+func (r *ReplicaServer) sendMsg(ctx context.Context, to string, req transport.Message) (transport.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, r.cfg.RPCTimeout)
 	defer cancel()
 	resp, err := r.node.Send(cctx, to, req)
@@ -113,13 +110,23 @@ func (r *ReplicaServer) send(ctx context.Context, to, msgType string, body any) 
 }
 
 // sendRetry performs a coordination RPC, retrying transient failures up to
-// SendRetries times with exponential backoff and jitter. Retrying is safe
+// SendRetries times with exponential backoff and jitter. The body is
+// marshaled once; retries resend the identical bytes.
+func (r *ReplicaServer) sendRetry(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
+	req, err := r.newMessage(msgType, body)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return r.sendMsgRetry(ctx, to, req)
+}
+
+// sendMsgRetry is the retry loop over a prebuilt message. Retrying is safe
 // because a failed attempt was never delivered (both fabrics fail sends
 // before the destination handler runs), so a lost packet or a latency
 // spike costs a retry, not a member's life. Retries stop as soon as the
 // surrounding context ends — a cancelled fan-out wave must not keep
 // hammering a peer.
-func (r *ReplicaServer) sendRetry(ctx context.Context, to, msgType string, body any) (transport.Message, error) {
+func (r *ReplicaServer) sendMsgRetry(ctx context.Context, to string, req transport.Message) (transport.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.cfg.SendRetries; attempt++ {
 		if attempt > 0 {
@@ -127,9 +134,9 @@ func (r *ReplicaServer) sendRetry(ctx context.Context, to, msgType string, body 
 				break
 			}
 			r.Stats.SendRetried.Inc(1)
-			r.cfg.Telemetry.Publish(telemetry.RPCRetried{Peer: to, Verb: msgType, Attempt: attempt})
+			r.cfg.Telemetry.Publish(telemetry.RPCRetried{Peer: to, Verb: req.Type, Attempt: attempt})
 		}
-		resp, err := r.send(ctx, to, msgType, body)
+		resp, err := r.sendMsg(ctx, to, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -580,9 +587,18 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	if !r.cfg.ColdStart {
 		warm, mu := r.warmStart(requests, infos, prob)
 		if grouping != nil && warm != nil {
-			warm = grouping.AggregateRows(warm)
+			// Packed fold: gather the per-client history straight into the
+			// cohorts' CSR slots, then scatter once into a pooled |K|×|N|
+			// matrix for the spec. No dense |C|×|N| intermediate, and the
+			// pooled buffers are done being read before Run releases them
+			// (the spec is marshaled at step 3; rd.Warm is consumed in Init).
+			_, redSp := grouping.Sparse()
+			warmPk := grouping.AggregateRowsPacked(warm, r.pool.Vector(redSp.NNZ()))
+			warmK := r.pool.Matrix(grouping.K(), prob.N())
+			redSp.Scatter(warmK, warmPk)
+			warm = warmK
 			if mu != nil {
-				mu = grouping.AggregateDuals(mu)
+				mu = grouping.AggregateDualsInto(mu, r.pool.Vector(grouping.K()))
 			}
 		}
 		solveSpec.Warm, warmMu = warm, mu
@@ -635,29 +651,50 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		return nil, err
 	}
 
-	// Disaggregate a cohorted result back to per-client rows before
-	// anything downstream sees it: install, notification, last-good
-	// history, and the report all operate at raw client granularity.
+	// 5. Disaggregate a cohorted result back to per-client granularity and
+	// install the final plan on replicas, then notify clients. Cohorted
+	// rounds stay packed between the engine and the install fan-out: the
+	// reduced assignment is gathered into its CSR slots, disaggregated
+	// slot-to-slot, and each replica's install column is materialized
+	// straight from the packed per-client vector through the CSC view —
+	// the only dense |C|×|N| matrix built is the one the report (and the
+	// warm-start history) needs anyway.
 	if grouping != nil {
-		assignment, err = grouping.Disaggregate(assignment)
-		if err != nil {
+		fullSp, redSp := grouping.Sparse()
+		vk := redSp.Gather(nil, assignment)
+		xPk, derr := grouping.DisaggregatePacked(vk, nil)
+		if derr != nil {
+			return nil, derr
+		}
+		if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, j int) error {
+			col := make([]float64, len(spec.ClientAddrs))
+			for s := fullSp.ColStart[j]; s < fullSp.ColStart[j+1]; s++ {
+				col[fullSp.RowIdx[s]] = xPk[fullSp.PosCSR[s]]
+			}
+			body := AssignBody{Round: round, Column: col, ClientAddrs: spec.ClientAddrs}
+			_, err := r.sendReplica(ctx, infos[j].Addr, MsgAssign, body)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-	}
-
-	// 5. Install the final plan on replicas and notify clients.
-	if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, j int) error {
-		col := make([]float64, len(spec.ClientAddrs))
-		for i := range spec.ClientAddrs {
-			col[i] = assignment[i][j]
+		r.notifyCohorts(ctx, round, spec.ClientAddrs, grouping, infos, vk, iterations)
+		full := opt.NewMatrix(len(spec.ClientAddrs), len(infos)) // escapes into the report
+		fullSp.Scatter(full, xPk)
+		assignment = full
+	} else {
+		if err := engine.FanOut(ctx, len(infos), func(ctx context.Context, j int) error {
+			col := make([]float64, len(spec.ClientAddrs))
+			for i := range spec.ClientAddrs {
+				col[i] = assignment[i][j]
+			}
+			body := AssignBody{Round: round, Column: col, ClientAddrs: spec.ClientAddrs}
+			_, err := r.sendReplica(ctx, infos[j].Addr, MsgAssign, body)
+			return err
+		}); err != nil {
+			return nil, err
 		}
-		body := AssignBody{Round: round, Column: col, ClientAddrs: spec.ClientAddrs}
-		_, err := r.sendReplica(ctx, infos[j].Addr, MsgAssign, body)
-		return err
-	}); err != nil {
-		return nil, err
+		r.notifyClients(ctx, round, spec.ClientAddrs, infos, assignment, iterations)
 	}
-	r.notifyClients(ctx, round, spec.ClientAddrs, infos, assignment, iterations)
 
 	// Remember this round as the fallback for degraded rounds and the seed
 	// for the next warm start (duals included when the algorithm reports
@@ -732,7 +769,9 @@ func (r *ReplicaServer) warmStart(requests []*RequestBody, infos []ReplicaInfo, 
 	for i, addr := range lg.clientAddrs {
 		rowOf[addr] = i
 	}
-	weights := opt.NewMatrix(len(requests), len(infos))
+	// Pooled scratch: Renormalize allocates its own output, so weights is
+	// dead once it returns (the pool recycles it after the round's solve).
+	weights := r.pool.Matrix(len(requests), len(infos))
 	var newCols []int
 	for j, info := range infos {
 		if _, ok := colOf[info.Addr]; !ok {
@@ -787,6 +826,85 @@ func (r *ReplicaServer) notifyClients(ctx context.Context, round int, clientAddr
 		for j, info := range infos {
 			if assignment[i][j] > 0 {
 				per[info.Addr] = assignment[i][j]
+			}
+		}
+		body := AllocationBody{
+			Round:        round,
+			PerReplicaMB: per,
+			Algorithm:    r.cfg.Algorithm.String(),
+			Iterations:   iterations,
+		}
+		_, _ = r.sendRetry(ctx, clientAddrs[i], MsgAllocation, body)
+		return nil
+	})
+}
+
+// notifyCohorts is the cohorted-round allocation fan-out: every member of a
+// cohort receives the same prebuilt message — the cohort's per-unit split
+// over its feasible replicas — and reconstructs its own per-replica map
+// locally by scaling with its own submitted demand. The body is built and
+// marshaled once per cohort instead of once per client, which is what makes
+// the notify phase scale with |K| work + |C| sends rather than |C| marshals
+// of |N|-entry maps. Clients that do not understand the verb (wire compat
+// with older fleets) get the legacy per-client allocation as a fallback.
+// Failures never abort the round.
+func (r *ReplicaServer) notifyCohorts(ctx context.Context, round int, clientAddrs []string, g *cohort.Grouping, infos []ReplicaInfo, vk []float64, iterations int) {
+	_, redSp := g.Sparse()
+	msgs := make([]transport.Message, g.K())
+	units := make([][]float64, g.K()) // kept for the legacy fallback
+	reps := make([][]string, g.K())
+	for k := 0; k < g.K(); k++ {
+		kb, ke := redSp.RowStart[k], redSp.RowStart[k+1]
+		w := ke - kb
+		unit := make([]float64, w)
+		addrs := make([]string, w)
+		sum := 0.0
+		for t := 0; t < w; t++ {
+			v := vk[kb+t]
+			if v < 0 {
+				v = 0
+			}
+			unit[t] = v
+			addrs[t] = infos[redSp.ColIdx[kb+t]].Addr
+			sum += v
+		}
+		if sum > 0 {
+			for t := range unit {
+				unit[t] /= sum
+			}
+		} else if w > 0 {
+			for t := range unit {
+				unit[t] = 1 / float64(w)
+			}
+		}
+		body := CohortAllocationBody{
+			Round:      round,
+			Algorithm:  r.cfg.Algorithm.String(),
+			Iterations: iterations,
+			Replicas:   addrs,
+			UnitMB:     unit,
+		}
+		msg, err := r.newMessage(MsgCohortAllocation, body)
+		if err != nil {
+			continue // msgs[k].Type stays empty → members fall back below
+		}
+		msgs[k], units[k], reps[k] = msg, unit, addrs
+	}
+	_ = engine.FanOut(ctx, len(clientAddrs), func(ctx context.Context, i int) error {
+		k := g.CohortOf(i)
+		if msgs[k].Type != "" {
+			if _, err := r.sendMsgRetry(ctx, clientAddrs[i], msgs[k]); err == nil {
+				return nil
+			} else if ctx.Err() != nil {
+				return nil
+			}
+		}
+		// Legacy fallback: reconstruct this member's per-replica map the
+		// same way the cohort-aware client would.
+		per := make(map[string]float64, len(reps[k]))
+		for t, addr := range reps[k] {
+			if v := units[k][t] * g.Orig().Demands[i]; v > 0 {
+				per[addr] = v
 			}
 		}
 		body := AllocationBody{

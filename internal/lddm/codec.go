@@ -2,15 +2,18 @@ package lddm
 
 import "edr/internal/transport"
 
-// Compact binary codecs (transport binary body v1) for the LDDM verbs:
-// the multiplier vector out, the primal column back — |C| float64s each
-// way per replica per iteration. Request bodies lead with the u32 LE
-// round id per the wire convention.
+// Compact binary codecs for the LDDM verbs: the multiplier vector out,
+// the primal column back — |C| float64s each way per replica per
+// iteration. Request bodies lead with the u32 LE round id per the wire
+// convention. The μ vector rides in a v2 kinded frame: a u32 declares
+// the negotiated base iteration (0 = none, else iter+1), then the
+// full/sparse/delta layout the marshal-time chooser picked.
 
 func (b SolveBody) MarshalBinary() ([]byte, error) {
 	out := transport.AppendUint32(nil, uint32(b.Round))
 	out = transport.AppendUint32(out, uint32(b.Iter))
-	return transport.AppendFloats(out, b.Mu), nil
+	out = transport.AppendUint32(out, uint32(b.BaseIter+1))
+	return transport.AppendFloatsKinded(out, b.Mu, b.Base), nil
 }
 
 func (b *SolveBody) UnmarshalBinary(data []byte) error {
@@ -22,11 +25,20 @@ func (b *SolveBody) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	mu, _, err := transport.ReadFloats(data)
+	baseIter, data, err := transport.ReadUint32(data)
 	if err != nil {
 		return err
 	}
-	b.Round, b.Iter, b.Mu = int(round), int(iter), mu
+	b.Round, b.Iter, b.BaseIter = int(round), int(iter), int(baseIter)-1
+	var base []float64
+	if b.BaseIter >= 0 && b.Resolve != nil {
+		base = b.Resolve(b.BaseIter)
+	}
+	mu, _, err := transport.ReadFloatsKinded(data, base)
+	if err != nil {
+		return err
+	}
+	b.Mu = mu
 	return nil
 }
 

@@ -7,17 +7,32 @@ import (
 
 	"edr/internal/engine"
 	"edr/internal/opt"
+	"edr/internal/transport"
 )
 
 // MsgLocalSolve is initiator → replica: solve the replica-local problem
 // for the current multipliers and return the resulting column.
 const MsgLocalSolve = "replica.localsolve"
 
-// SolveBody carries the clients' multipliers to one replica.
+// SolveBody carries the clients' multipliers to one replica. On the
+// binary codec the μ vector rides in a kinded frame (full/sparse/delta)
+// with per-peer base negotiation: BaseIter declares which earlier
+// iteration's vector the receiver already holds, Base/Resolve are
+// marshal/decode context in the transport convention (never serialized
+// themselves). The JSON codec always carries the full vector.
 type SolveBody struct {
 	Round int       `json:"round"`
 	Iter  int       `json:"iter"`
 	Mu    []float64 `json:"mu"`
+
+	// BaseIter is the iteration id of the μ snapshot the receiver holds
+	// (−1: none). Binary codec only.
+	BaseIter int `json:"-"`
+	// Base is the sender's copy of that snapshot (marshal-time context).
+	Base []float64 `json:"-"`
+	// Resolve maps a declared base iteration to the receiver's held
+	// snapshot (decode-time context).
+	Resolve func(iter int) []float64 `json:"-"`
 }
 
 // SolveReply returns the replica's column of the primal iterate.
@@ -44,6 +59,9 @@ type roundAlg struct {
 	step float64
 
 	mu          []float64
+	muPeer      [][]float64 // per-replica μ projected onto its support
+	sp          *opt.Sparsity
+	tx          transport.DeltaTx
 	primal, avg [][]float64
 	rows        []float64
 	windowStart int
@@ -65,16 +83,38 @@ func (a *roundAlg) Init(rd *engine.Round) error {
 	a.avg = rd.Pool.Matrix(c, n)
 	a.rows = rd.Pool.Vector(c)
 	a.windowStart = 1
+	if sp := rd.Prob.Sparsity(); opt.SparseAuto.Enabled(sp) {
+		// Masked instance: each replica's local solve reads only its
+		// feasible clients' multipliers, so ship μ projected onto that
+		// support. The structural zeros are bit-stable across iterations,
+		// which is what lets the kinded wire frames go sparse or delta.
+		a.sp = sp
+		a.muPeer = rd.Pool.Matrix(n, c)
+	}
 	a.exchanges = []engine.Exchange{
 		{
 			// Local solves, one per replica (Algorithm 2 lines 4–5;
-			// parallel: disjoint primal columns).
+			// parallel: disjoint primal columns and per-peer μ rows).
 			Verb:  MsgLocalSolve,
 			Class: engine.Replicas,
 			Body: func(j int) any {
-				return SolveBody{Round: rd.Seq, Iter: a.k, Mu: a.mu}
+				mu := a.mu
+				if a.muPeer != nil {
+					row := a.muPeer[j] // off-support entries stay zero
+					for s := a.sp.ColStart[j]; s < a.sp.ColStart[j+1]; s++ {
+						i := a.sp.RowIdx[s]
+						row[i] = a.mu[i]
+					}
+					mu = row
+				}
+				body := SolveBody{Round: rd.Seq, Iter: a.k, Mu: mu}
+				body.Base, body.BaseIter = a.tx.Stage(rd.ReplicaAddrs[j], a.k, mu)
+				return body
 			},
 			Fold: func(j int, r engine.Reply) error {
+				// The reply proves the peer decoded (and now holds) the
+				// staged μ — promote it to the delta base.
+				a.tx.Ack(rd.ReplicaAddrs[j])
 				var reply SolveReply
 				if err := r.Decode(&reply); err != nil {
 					return err
@@ -155,24 +195,21 @@ func (a *roundAlg) Recover(ctx context.Context, d *engine.Driver) ([][]float64, 
 }
 
 // serverState is one replica's LDDM view of a round: its local
-// water-filling problem, re-solved against each iteration's multipliers.
+// water-filling problem, re-solved against each iteration's multipliers,
+// plus the delta-frame receive window for the μ stream.
 type serverState struct {
 	mu    sync.Mutex
 	local *LocalProblem
+	rx    transport.DeltaRx
 }
 
 // serverHalf answers MsgLocalSolve on a participant replica.
 type serverHalf struct{}
 
 func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr *engine.ServerRound) (any, error) {
-	var body SolveBody
-	if err := req.Decode(&body); err != nil {
-		return nil, err
-	}
 	c := sr.Prob.C()
-	if len(body.Mu) != c {
-		return nil, fmt.Errorf("lddm: round %d: %d multipliers for %d clients", body.Round, len(body.Mu), c)
-	}
+	// Fetch (or build) the round state before decoding: a delta μ frame
+	// resolves its base from the receive window.
 	st, err := sr.State("LDDM", func() (any, error) {
 		local := &LocalProblem{
 			Replica: sr.Prob.System.Replicas[sr.Col],
@@ -195,6 +232,15 @@ func (serverHalf) Handle(ctx context.Context, verb string, req engine.Reply, sr 
 		return nil, err
 	}
 	ls := st.(*serverState)
+	var body SolveBody
+	body.Resolve = ls.rx.Resolve
+	if err := req.Decode(&body); err != nil {
+		return nil, err
+	}
+	if len(body.Mu) != c {
+		return nil, fmt.Errorf("lddm: round %d: %d multipliers for %d clients", body.Round, len(body.Mu), c)
+	}
+	ls.rx.Absorb(body.Iter, body.Mu)
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	ls.local.Mu = body.Mu

@@ -110,6 +110,32 @@ func (p *Problem) Sparsity() *Sparsity {
 	return p.sparse
 }
 
+// PrimeMask seeds the cached feasibility mask and sparsity view with
+// precomputed values, so a Problem assembled from structures that already
+// know their mask (the cohort layer's reduced instance) never rebuilds
+// either on first solver touch. The mask must agree with Latency and
+// MaxLatency — callers own that contract — and both arguments become
+// shared read-only state, exactly as if Allowed()/Sparsity() had built
+// them. Panics on dimension mismatch, matching the package's contract
+// violations elsewhere.
+func (p *Problem) PrimeMask(mask [][]bool, sp *Sparsity) {
+	if len(mask) != p.C() {
+		panic(fmt.Sprintf("opt: PrimeMask with %d rows for %d clients", len(mask), p.C()))
+	}
+	for c, row := range mask {
+		if len(row) != p.N() {
+			panic(fmt.Sprintf("opt: PrimeMask row %d has %d cols for %d replicas", c, len(row), p.N()))
+		}
+	}
+	if sp != nil && (sp.C != p.C() || sp.N != p.N()) {
+		panic(fmt.Sprintf("opt: PrimeMask sparsity %dx%d for %dx%d problem", sp.C, sp.N, p.C(), p.N()))
+	}
+	p.maskMu.Lock()
+	p.mask = mask
+	p.sparse = sp
+	p.maskMu.Unlock()
+}
+
 // InvalidateMask drops the cached feasibility mask and its sparsity view.
 // Call it after mutating Latency or MaxLatency on a Problem that may
 // already have served Allowed() or Sparsity() (e.g. probgen folding a
