@@ -1,0 +1,209 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"edr/internal/core"
+	"edr/internal/model"
+	"edr/internal/sim"
+	"edr/internal/transport"
+	"edr/internal/workload"
+)
+
+// driftPerf is the steady-state incremental re-optimization sweep: two
+// identical in-process fleets — one with ReplicaConfig.Incremental, one
+// re-solving every round in full — driven through the same demand-drift
+// sequence, timing RunRound alone at each drift level. Both fleets run
+// cohorted (the steady-state config at this scale; a raw 10k-row
+// distributed round is minutes, not milliseconds), so the measured gap is
+// exactly what the incremental path adds on top of cohorting.
+type driftPerf struct {
+	Clients  int     `json:"clients"`
+	Regions  int     `json:"regions"`
+	Replicas int     `json:"replicas"`
+	Alg      string  `json:"algorithm"`
+	DeltaEps float64 `json:"delta_eps"`
+	// CleanRelGap is the 0%-drift round's objective against the committed
+	// full solve of the identical problem — exactly 0 by construction
+	// (the clean path re-commits the full solve's own assignment), so the
+	// tripwire can demand ≤1e-9 without cross-machine slack.
+	CleanRelGap float64      `json:"clean_rel_gap"`
+	Points      []driftPoint `json:"points"`
+}
+
+// driftPoint is one drift level of the sweep. Speedup and RelGap compare
+// the incremental fleet's round against the full fleet's round over the
+// same drifted demands.
+type driftPoint struct {
+	DriftPct           float64 `json:"drift_pct"`
+	DirtyClients       int     `json:"dirty_clients"`
+	SuppressedNotifies int     `json:"suppressed_notifies"`
+	Incremental        bool    `json:"incremental"`
+	IncrementalNs      int64   `json:"incremental_ns"`
+	FullNs             int64   `json:"full_ns"`
+	Speedup            float64 `json:"speedup_vs_full"`
+	RelGap             float64 `json:"rel_gap_vs_full"`
+}
+
+// driftFleet is one side of the sweep: a replica ring plus its clients on
+// a private in-process fabric.
+type driftFleet struct {
+	replicas []*core.ReplicaServer
+	clients  []*core.Client
+	lats     []map[string]float64
+}
+
+func (f *driftFleet) close() {
+	for _, rs := range f.replicas {
+		rs.Close()
+	}
+	for _, cl := range f.clients {
+		cl.Close()
+	}
+}
+
+// submit re-submits every client's demand (steady-state clients resubmit
+// each scheduling window whether or not their demand moved).
+func (f *driftFleet) submit(ctx context.Context, demands []float64) error {
+	for i, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), demands[i], f.lats[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newDriftFleet builds the fleet: replicas r1..rN with staggered prices,
+// clients grouped into regions sharing a latency vector that reaches a
+// rotating half of the replicas (the regional shape the cohort layer and
+// the incremental diff both key on).
+func newDriftFleet(clients, regions, replicas int, incremental bool) (*driftFleet, error) {
+	net := transport.NewInProcNetwork()
+	f := &driftFleet{}
+	names := make([]string, replicas)
+	for j := range names {
+		names[j] = fmt.Sprintf("r%d", j+1)
+	}
+	for j := range names {
+		rs, err := core.NewReplicaServer(net, names[j], names, core.ReplicaConfig{
+			Replica:          model.NewReplica(names[j], float64(1+2*j)),
+			Algorithm:        core.LDDM,
+			CohortMinClients: 2,
+			Incremental:      incremental,
+		})
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.replicas = append(f.replicas, rs)
+	}
+	for i := 0; i < clients; i++ {
+		cl, err := core.NewClient(net, fmt.Sprintf("c%05d", i))
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.clients = append(f.clients, cl)
+		region := i % regions
+		lat := make(map[string]float64, replicas)
+		for j, name := range names {
+			if (j+region)%replicas < (replicas+1)/2 {
+				lat[name] = 0.0005
+			} else {
+				lat[name] = 1 // far beyond the bound: infeasible
+			}
+		}
+		f.lats = append(f.lats, lat)
+	}
+	return f, nil
+}
+
+// measureDriftSweep runs the sweep at paper scale: a cold full round on
+// both fleets, then drift levels 0%, 1%, 10%, 100% applied cumulatively
+// to the demand vector, re-submitted to both fleets, RunRound timed on
+// each.
+func measureDriftSweep(seed uint64) (*driftPerf, error) {
+	return driftSweep(seed, 10000, 50, 10)
+}
+
+func driftSweep(seed uint64, clients, regions, replicas int) (*driftPerf, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	inc, err := newDriftFleet(clients, regions, replicas, true)
+	if err != nil {
+		return nil, err
+	}
+	defer inc.close()
+	full, err := newDriftFleet(clients, regions, replicas, false)
+	if err != nil {
+		return nil, err
+	}
+	defer full.close()
+
+	r := sim.NewRand(seed)
+	demands := make([]float64, clients)
+	for i := range demands {
+		demands[i] = r.Range(0.005, 0.05)
+	}
+
+	run := func(f *driftFleet, demands []float64) (*core.RoundReport, int64, error) {
+		if err := f.submit(ctx, demands); err != nil {
+			return nil, 0, err
+		}
+		// The submit flood just allocated ~|C| transport messages; collect
+		// them now so the timed window measures the round, not the flood's
+		// garbage.
+		runtime.GC()
+		start := time.Now()
+		report, err := f.replicas[0].RunRound(ctx)
+		return report, time.Since(start).Nanoseconds(), err
+	}
+	if _, _, err := run(inc, demands); err != nil {
+		return nil, err
+	}
+	committed, _, err := run(full, demands)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &driftPerf{
+		Clients: clients, Regions: regions, Replicas: replicas,
+		Alg: "LDDM", DeltaEps: 1e-3,
+	}
+	for _, pct := range []float64{0, 0.01, 0.10, 1.0} {
+		demands = workload.Drift{Fraction: pct, Magnitude: 0.2}.Apply(r, demands)
+		repInc, incNs, err := run(inc, demands)
+		if err != nil {
+			return nil, err
+		}
+		repFull, fullNs, err := run(full, demands)
+		if err != nil {
+			return nil, err
+		}
+		pt := driftPoint{
+			DriftPct:           100 * pct,
+			DirtyClients:       repInc.DirtyClients,
+			SuppressedNotifies: repInc.SuppressedNotifies,
+			Incremental:        repInc.Incremental,
+			IncrementalNs:      incNs,
+			FullNs:             fullNs,
+			RelGap:             math.Abs(repInc.Objective-repFull.Objective) / math.Max(1, math.Abs(repFull.Objective)),
+		}
+		if incNs > 0 {
+			pt.Speedup = float64(fullNs) / float64(incNs)
+		}
+		if pct == 0 {
+			// The quiet round against the committed full solve of the same
+			// demands: the clean path re-commits that very assignment.
+			out.CleanRelGap = math.Abs(repInc.Objective-committed.Objective) /
+				math.Max(1, math.Abs(committed.Objective))
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// A scaled-down drift sweep: the incremental fleet must produce an
+// empty-dirty quiet round (clean gap exactly 0) and a full-size dirty
+// set at 100% drift, with every point's objective near the full solve.
+func TestDriftSweepSmall(t *testing.T) {
+	dp, err := driftSweep(11, 400, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.CleanRelGap > 1e-9 {
+		t.Fatalf("clean rel gap = %g, want 0", dp.CleanRelGap)
+	}
+	if len(dp.Points) != 4 {
+		t.Fatalf("got %d points", len(dp.Points))
+	}
+	quiet := dp.Points[0]
+	if !quiet.Incremental || quiet.DirtyClients != 0 {
+		t.Fatalf("0%% drift point not clean: %+v", quiet)
+	}
+	if quiet.SuppressedNotifies != 400 {
+		t.Fatalf("quiet round suppressed %d of 400 notifies", quiet.SuppressedNotifies)
+	}
+	for _, pt := range dp.Points {
+		if pt.RelGap > 0.15 {
+			t.Fatalf("%.0f%% drift point rel gap %g", pt.DriftPct, pt.RelGap)
+		}
+	}
+}

@@ -53,7 +53,11 @@ type perfReport struct {
 	// adapters vs the packed end-to-end path core now runs. Optional so
 	// reports from earlier builds still diff cleanly.
 	SparseCohort *sparseCohortPerf `json:"sparse_cohort,omitempty"`
-	Notes        []string          `json:"notes,omitempty"`
+	// Drift is the steady-state incremental sweep: incremental vs full
+	// rounds over drifting demands at 10k clients (see driftPerf).
+	// Optional so reports from pre-incremental builds still diff cleanly.
+	Drift *driftPerf `json:"drift_sweep,omitempty"`
+	Notes []string   `json:"notes,omitempty"`
 }
 
 // sparseCohortPerf pins the packed-pipeline claim at client scale: a
@@ -282,6 +286,17 @@ func runPerf(outDir string, seed uint64, baseline string) error {
 		sc.Clients, sc.Cohorts, 100*sc.Density, sc.DenseRoundNs, sc.PackedRoundNs, sc.RoundSpeedup,
 		sc.DenseAggDisaggNs, sc.PackedAggDisaggNs, sc.AggDisaggSpeedup)
 
+	dp, err := measureDriftSweep(seed)
+	if err != nil {
+		return err
+	}
+	report.Drift = dp
+	fmt.Printf("perf drift  %d clients, clean rel gap %.2g\n", dp.Clients, dp.CleanRelGap)
+	for _, pt := range dp.Points {
+		fmt.Printf("perf drift  %5.1f%% drift: dirty %5d, suppressed %5d; incremental %12d ns  full %12d ns  speedup %5.1fx  rel gap %.2g\n",
+			pt.DriftPct, pt.DirtyClients, pt.SuppressedNotifies, pt.IncrementalNs, pt.FullNs, pt.Speedup, pt.RelGap)
+	}
+
 	if outDir == "" {
 		outDir = "."
 	}
@@ -387,6 +402,33 @@ func diffBaseline(fresh *perfReport, path string) error {
 			regressions = append(regressions, fmt.Sprintf(
 				"sparse-cohort round speedup fell to %.1fx (baseline %.1fx, floor %gx)",
 				fresh.SparseCohort.RoundSpeedup, base.SparseCohort.RoundSpeedup, roundFloor))
+		}
+	}
+	// Drift-sweep tripwires, relative like the gates above: the 1%-drift
+	// (quiet) round must stay ≥5x faster than the full solve on the same
+	// run, and the 0%-drift round's objective must match the committed
+	// full solve exactly (the clean path re-commits its assignment, so
+	// ≤1e-9 is a bitwise-equality check, not a tolerance).
+	if base.Drift != nil && fresh.Drift != nil {
+		const quietFloor, cleanGapLimit = 5.0, 1e-9
+		quiet := func(d *driftPerf) *driftPoint {
+			for i := range d.Points {
+				if d.Points[i].DriftPct == 1 {
+					return &d.Points[i]
+				}
+			}
+			return nil
+		}
+		if bq, fq := quiet(base.Drift), quiet(fresh.Drift); bq != nil && fq != nil &&
+			bq.Speedup >= quietFloor && fq.Speedup < quietFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"drift-sweep 1%%-drift speedup fell to %.1fx (baseline %.1fx, floor %gx)",
+				fq.Speedup, bq.Speedup, quietFloor))
+		}
+		if base.Drift.CleanRelGap <= cleanGapLimit && fresh.Drift.CleanRelGap > cleanGapLimit {
+			regressions = append(regressions, fmt.Sprintf(
+				"drift-sweep clean round diverged from the committed full solve: rel gap %.2g (limit %g)",
+				fresh.Drift.CleanRelGap, cleanGapLimit))
 		}
 	}
 	if len(regressions) > 0 {

@@ -160,7 +160,10 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("submitted %.1f MB to %s; waiting for the fleet's decision...\n", *demand, addrs[0])
-	alloc, err := client.WaitAllocation(ctx)
+	// Steady wait: prefer the push, but poll the committed round too — an
+	// incremental fleet suppresses the push when this client's split did
+	// not move, and a one-shot CLI has no prior allocation to keep serving.
+	alloc, err := client.WaitAllocationSteady(ctx, time.Second)
 	if err != nil {
 		return err
 	}
@@ -238,6 +241,14 @@ func printStatus(w *os.File, st *core.Status) {
 	}
 	if r.Cohorts > 0 {
 		flag += fmt.Sprintf("  cohorted (%d virtual clients, %.1fx compression)", r.Cohorts, r.CohortRatio)
+	}
+	if r.Incremental {
+		suppressed := 0.0
+		if n := len(r.ClientAddrs); n > 0 {
+			suppressed = 100 * float64(r.SuppressedNotifies) / float64(n)
+		}
+		flag += fmt.Sprintf("  incremental (dirty %d/%d, suppressed %.0f%%)",
+			r.DirtyClients, len(r.ClientAddrs), suppressed)
 	}
 	if r.Degraded {
 		flag = "  DEGRADED (last-good fallback)"

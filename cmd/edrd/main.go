@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +69,13 @@ func main() {
 		cohortMin     = flag.Int("cohort-min", 0, "pending-request threshold that enables cohort aggregation (0 disables)")
 		cohortQuantum = flag.Duration("cohort-quantum", 0, "latency quantization step for cohort keying (0 = T/4)")
 		cohortMax     = flag.Int("cohort-max", 0, "cohort-count bound, enforced by coarsening the quantum (0 = unbounded)")
+		cohortDuals   = flag.Bool("cohort-duals", false, "fan each cohort's final dual μ out to every member (client.duals.cohort)")
+
+		// Cross-round incremental re-optimization: diff each round against
+		// the committed one and re-solve only the clients that drifted,
+		// suppressing notifies for clients whose allocation barely moved.
+		incremental = flag.Bool("incremental", false, "re-solve only the dirty client subset on steady-state rounds")
+		deltaEps    = flag.Float64("delta-eps", 0, "relative drift threshold for the incremental diff and notify suppression (0 = 1e-3)")
 
 		// Transient-fault tolerance knobs.
 		rpcTimeout   = flag.Duration("rpc-timeout", 3*time.Second, "deadline per coordination RPC attempt (lower it when injecting faults: a black-holed send stalls this long)")
@@ -146,6 +154,10 @@ func main() {
 		CohortMinClients: *cohortMin,
 		CohortQuantumSec: cohortQuantum.Seconds(),
 		CohortMax:        *cohortMax,
+		CohortDuals:      *cohortDuals,
+
+		Incremental: *incremental,
+		DeltaEps:    *deltaEps,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -202,6 +214,11 @@ func main() {
 			}
 			if report.Cohorts > 0 {
 				extra += fmt.Sprintf(" [%d cohorts, %.1fx]", report.Cohorts, report.CohortRatio)
+			}
+			if report.Incremental {
+				extra += fmt.Sprintf(" [incremental dirty %d/%d, suppressed %.0f%%]",
+					report.DirtyClients, len(report.ClientAddrs),
+					100*float64(report.SuppressedNotifies)/math.Max(1, float64(len(report.ClientAddrs))))
 			}
 			if report.Degraded {
 				extra = " DEGRADED (last-good fallback)"

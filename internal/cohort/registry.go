@@ -1,0 +1,226 @@
+package cohort
+
+import (
+	"fmt"
+	"sort"
+
+	"edr/internal/opt"
+)
+
+// Registry persists cohort identity across rounds. Grouping alone is
+// stateless: cohort k of round t and cohort k of round t+1 are unrelated
+// (first-seen client order decides numbering), so nothing cohort-scoped —
+// warm duals, cached masks, sparsity views — can be carried between
+// rounds. The registry fixes that by interning each cohort's byte key
+// (feasibility mask + quantized latency classes) into a stable ID that is
+// assigned once and never reused, ordering every grouping it produces by
+// stable ID. Two consequences the runtime builds on:
+//
+//   - Across quiet rounds the client→cohort partition, the cohort order,
+//     the reduced mask, and the primed Sparsity are pointer-identical: the
+//     registry detects that the per-client stable-ID vector is unchanged
+//     and re-emits the cached structures with only the reduced demand
+//     vector recomputed (O(|C|)), so grouping amortizes to near zero.
+//   - When membership does drift, surviving cohorts keep their relative
+//     order (stable IDs are monotone), so row-aligned state such as warm
+//     starts degrades gracefully instead of being shuffled.
+//
+// The registry assumes the caller presents clients and replicas in a
+// stable order across rounds (the runtime sorts request rows by client
+// address and replica columns by address); a permuted column order changes
+// every byte key and simply misses the cache — correctness is unaffected.
+// A Registry is not safe for concurrent use.
+type Registry struct {
+	quantum float64
+	ids     map[string]int // interned cohort key → stable ID
+	next    int
+
+	// Cached last grouping, keyed by the per-client stable-ID vector.
+	stableOf []int
+	n        int
+	members  [][]int
+	of       []int
+	redMask  [][]bool
+	redLat   [][]float64
+	sparse   *opt.Sparsity
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]int)}
+}
+
+// Reset drops all interned identity and cached structures — the runtime
+// calls it on membership epoch changes, where column order (and with it
+// every byte key) shifts.
+func (r *Registry) Reset() {
+	r.ids = make(map[string]int)
+	r.next = 0
+	r.quantum = 0
+	r.stableOf = nil
+	r.n = 0
+	r.members = nil
+	r.of = nil
+	r.redMask = nil
+	r.redLat = nil
+	r.sparse = nil
+}
+
+// Cohorts returns how many distinct cohort identities the registry has
+// interned over its lifetime.
+func (r *Registry) Cohorts() int { return r.next }
+
+// Group is the registry-backed replacement for the package-level Group:
+// same grouping semantics, but cohorts are ordered by stable ID and quiet
+// rounds reuse the cached partition, reduced mask, representative
+// latencies, and primed Sparsity. The boolean reports a cache hit. The
+// returned Grouping always disaggregates against prob (fresh demands);
+// on a hit the representative latencies are the cached round's — members
+// share latency buckets by construction, so the drift is below one
+// quantum and invisible to the solve, which reads only the mask.
+func (r *Registry) Group(prob *opt.Problem, opts Options) (*Grouping, bool, error) {
+	if prob == nil || prob.System == nil {
+		return nil, false, fmt.Errorf("cohort: problem has no system")
+	}
+	c, n := prob.C(), prob.N()
+	if c == 0 || n == 0 {
+		return nil, false, fmt.Errorf("cohort: empty problem (%d clients, %d replicas)", c, n)
+	}
+	quantum := r.quantum
+	if quantum <= 0 {
+		quantum = opts.Quantum
+		if quantum <= 0 {
+			quantum = prob.MaxLatency / 4
+		}
+	}
+	mask := prob.Allowed()
+	var keys []string
+	var members [][]int
+	for {
+		_, members, keys = groupKeyed(prob, mask, quantum)
+		if opts.MaxCohorts <= 0 || len(members) <= opts.MaxCohorts || quantum >= prob.MaxLatency {
+			break
+		}
+		quantum *= 2
+		if quantum > prob.MaxLatency {
+			quantum = prob.MaxLatency
+		}
+	}
+	if quantum != r.quantum {
+		// The keyspace changed (first round, or MaxCohorts forced a
+		// coarser quantum): previously interned IDs describe different
+		// buckets, so identity restarts.
+		r.ids = make(map[string]int)
+		r.next = 0
+		r.quantum = quantum
+		r.stableOf = nil
+	}
+
+	// Intern keys and reorder cohorts by stable ID rank: surviving cohorts
+	// keep their relative positions, new ones slot in at the end.
+	stable := make([]int, len(members))
+	for k, key := range keys {
+		id, ok := r.ids[key]
+		if !ok {
+			id = r.next
+			r.next++
+			r.ids[key] = id
+		}
+		stable[k] = id
+	}
+	perm := make([]int, len(members))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return stable[perm[a]] < stable[perm[b]] })
+	ordMembers := make([][]int, len(members))
+	ordOf := make([]int, c)
+	for rank, k := range perm {
+		ordMembers[rank] = members[k]
+		for _, cl := range members[k] {
+			ordOf[cl] = rank
+		}
+	}
+	stableOf := make([]int, c)
+	for cl, k := range ordOf {
+		stableOf[cl] = stable[perm[k]]
+	}
+
+	if r.cacheHit(stableOf, n) {
+		g := &Grouping{orig: prob, members: r.members, of: r.of, quantum: quantum}
+		demands := make([]float64, len(r.members))
+		for k, mem := range r.members {
+			for _, cl := range mem {
+				demands[k] += prob.Demands[cl]
+			}
+		}
+		red := &opt.Problem{
+			System:     prob.System,
+			Demands:    demands,
+			Latency:    r.redLat,
+			MaxLatency: prob.MaxLatency,
+		}
+		red.PrimeMask(r.redMask, r.sparse)
+		g.reduced = red
+		return g, true, nil
+	}
+
+	g := &Grouping{orig: prob, members: ordMembers, of: ordOf, quantum: quantum}
+	g.reduced = g.buildReduced(mask)
+	r.stableOf = stableOf
+	r.n = n
+	r.members = ordMembers
+	r.of = ordOf
+	r.redMask = g.reduced.Allowed()
+	r.redLat = g.reduced.Latency
+	r.sparse = g.reduced.Sparsity()
+	return g, false, nil
+}
+
+// cacheHit reports whether the cached grouping matches the new per-client
+// stable-ID vector exactly (same clients, same cohorts, same order).
+func (r *Registry) cacheHit(stableOf []int, n int) bool {
+	if r.members == nil || r.n != n || len(r.stableOf) != len(stableOf) {
+		return false
+	}
+	for i, id := range stableOf {
+		if r.stableOf[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// groupKeyed is groupAt plus the cohort key strings (first-seen order),
+// which the registry interns for stable identity.
+func groupKeyed(prob *opt.Problem, mask [][]bool, quantum float64) ([]int, [][]int, []string) {
+	c, n := prob.C(), prob.N()
+	of := make([]int, c)
+	var members [][]int
+	var keys []string
+	index := make(map[string]int)
+	key := make([]byte, n)
+	for i := 0; i < c; i++ {
+		for j := 0; j < n; j++ {
+			if !mask[i][j] {
+				key[j] = 0xFF // infeasible class
+				continue
+			}
+			b := int(prob.Latency[i][j] / quantum)
+			if b > 0xFE {
+				b = 0xFE
+			}
+			key[j] = byte(b)
+		}
+		k, ok := index[string(key)]
+		if !ok {
+			k = len(members)
+			index[string(key)] = k
+			members = append(members, nil)
+			keys = append(keys, string(key))
+		}
+		of[i] = k
+		members[k] = append(members[k], i)
+	}
+	return of, members, keys
+}

@@ -19,10 +19,12 @@ import (
 type Client struct {
 	node transport.Node
 
-	mu     sync.Mutex
-	mus    map[string]float64 // multiplier per (initiator, round)
-	demand float64            // last submitted demand, for cohort allocations
-	alloc  chan AllocationBody
+	mu      sync.Mutex
+	mus     map[string]float64 // multiplier per (initiator, round)
+	demand  float64            // last submitted demand, for cohort allocations
+	contact string             // last contact replica, for allocation pulls
+	ackSeq  int                // RequestAck.Round watermark of the last submission
+	alloc   chan AllocationBody
 
 	// Stats counts client activity.
 	Stats ClientStats
@@ -63,6 +65,8 @@ func (c *Client) handle(ctx context.Context, req transport.Message) (transport.M
 		return c.handleAllocation(req)
 	case MsgCohortAllocation:
 		return c.handleCohortAllocation(req)
+	case MsgCohortDuals:
+		return c.handleCohortDuals(req)
 	default:
 		return transport.Message{}, fmt.Errorf("core: client %s: unknown message type %q", c.Addr(), req.Type)
 	}
@@ -98,6 +102,23 @@ func (c *Client) handleAllocation(req transport.Message) (transport.Message, err
 		// consuming allocations should not stall the fleet.
 	}
 	return transport.NewMessage(MsgAllocation+".ack", c.Addr(), nil)
+}
+
+// handleCohortDuals installs the cohort's final dual as this client's μ
+// for the round. The value is absolute, not a step: non-representative
+// members never receive in-round μ-updates, so the cohort's price simply
+// replaces whatever (zero) accumulator the round key holds.
+func (c *Client) handleCohortDuals(req transport.Message) (transport.Message, error) {
+	var body CohortDualsBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	key := fmt.Sprintf("%s/%d", req.From, body.Round)
+	c.mu.Lock()
+	c.mus[key] = body.Mu
+	c.mu.Unlock()
+	c.Stats.MuUpdates.Inc(1)
+	return transport.NewReply(req, MsgCohortDuals+".ack", c.Addr(), MuUpdateReply{Mu: body.Mu})
 }
 
 // handleCohortAllocation expands a cohort-level allocation into this
@@ -180,6 +201,10 @@ func (c *Client) Submit(ctx context.Context, contactReplica string, demandMB flo
 	if !ack.Accepted {
 		return fmt.Errorf("core: replica %s rejected request", contactReplica)
 	}
+	c.mu.Lock()
+	c.contact = contactReplica
+	c.ackSeq = ack.Round
+	c.mu.Unlock()
 	return nil
 }
 
@@ -190,6 +215,56 @@ func (c *Client) WaitAllocation(ctx context.Context) (AllocationBody, error) {
 		return body, nil
 	case <-ctx.Done():
 		return AllocationBody{}, ctx.Err()
+	}
+}
+
+// WaitAllocationSteady waits for an allocation push but also polls the last
+// contact's committed round (MsgAllocationPull). Against a fleet running
+// change-suppressed rounds (`edrd -incremental`) no push arrives when the
+// caller's split did not move, so a one-shot client must pull its row. A
+// pulled row is accepted only when the committed round passed the
+// submission's RequestAck.Round watermark AND the row's mass matches the
+// submitted demand — a round that drained the queue just before this
+// submission can commit past the watermark without covering it, and the
+// demand check rejects the stale row it would hand back (identical-demand
+// staleness is indistinguishable and harmless: the row is the same).
+func (c *Client) WaitAllocationSteady(ctx context.Context, poll time.Duration) (AllocationBody, error) {
+	c.mu.Lock()
+	contact, ackSeq, demand := c.contact, c.ackSeq, c.demand
+	c.mu.Unlock()
+	if contact == "" {
+		return c.WaitAllocation(ctx)
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case body := <-c.alloc:
+			return body, nil
+		case <-ctx.Done():
+			return AllocationBody{}, ctx.Err()
+		case <-ticker.C:
+			req, err := transport.NewMessage(MsgAllocationPull, c.Addr(), PullBody{ClientAddr: c.Addr()})
+			if err != nil {
+				return AllocationBody{}, err
+			}
+			resp, err := c.node.Send(ctx, contact, req)
+			if err != nil {
+				continue // the push path may still deliver; keep waiting
+			}
+			var body AllocationBody
+			if err := resp.DecodeBody(&body); err != nil || body.Round <= ackSeq || len(body.PerReplicaMB) == 0 {
+				continue
+			}
+			var sum float64
+			for _, mb := range body.PerReplicaMB {
+				sum += mb
+			}
+			if diff := sum - demand; diff > 1e-3*demand || diff < -1e-3*demand {
+				continue
+			}
+			return body, nil
+		}
 	}
 }
 

@@ -108,6 +108,28 @@ type ReplicaConfig struct {
 	// CohortMax, when positive, bounds the cohort count by coarsening the
 	// quantum until the grouping fits; 0 leaves the count unbounded.
 	CohortMax int
+	// Incremental enables cross-round incremental re-optimization for
+	// rounds this replica initiates: the incoming round is diffed against
+	// the last committed one (opt.DiffRounds), clean clients keep their
+	// committed rows (frozen into per-replica base loads), and the solvers
+	// run only over the dirty subset against residual capacity. A cheap
+	// full-problem feasibility/KKT gate guards every incremental result
+	// and escalates to a full solve on violation, so the mode can be
+	// slower on churn-heavy rounds but never wrong. Rounds with an empty
+	// dirty set commit the previous assignment without any fan-out.
+	Incremental bool
+	// DeltaEps is the relative threshold for the incremental diff and for
+	// change-suppressed client notifies: a client is clean while its
+	// demand moved by at most DeltaEps relative, and is not re-notified
+	// while its allocation row moved by at most DeltaEps of its demand.
+	// 0 means 1e-3; negative pins exact matching (any change is dirty).
+	DeltaEps float64
+	// CohortDuals opts cohorted rounds into fanning the final cohort dual
+	// out to every cohort member via client.duals.cohort, instead of only
+	// the representative member seeing μ through the iteration protocol.
+	// Members that do not know the verb receive a legacy μ-update that
+	// reproduces the same value.
+	CohortDuals bool
 	// WireJSON forces JSON bodies for every RPC this node initiates,
 	// disabling the compact binary codec on the wire. Peers always mirror
 	// a request's codec in their replies, so a JSON-only node
@@ -155,6 +177,11 @@ func (c *ReplicaConfig) withDefaults() ReplicaConfig {
 	}
 	if out.RetryBase <= 0 {
 		out.RetryBase = 50 * time.Millisecond
+	}
+	if out.DeltaEps == 0 {
+		out.DeltaEps = 1e-3
+	} else if out.DeltaEps < 0 {
+		out.DeltaEps = 0
 	}
 	return out
 }

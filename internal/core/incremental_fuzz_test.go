@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"edr/internal/opt"
+	"edr/internal/sim"
+	"edr/internal/workload"
+)
+
+// FuzzIncrementalEquiv drives two identical fleets — one incremental, one
+// always-full — through a base round and a drifted round, and checks the
+// incremental result against the full solve: demands conserved, capacity
+// respected, objective within the incremental gate's tolerance of the
+// full-solve objective, and an empty-dirty round re-committing the first
+// round's assignment bitwise.
+func FuzzIncrementalEquiv(f *testing.F) {
+	f.Add(uint64(1), uint8(30), uint8(20))
+	f.Add(uint64(7), uint8(0), uint8(10))    // quiet fleet: empty dirty set
+	f.Add(uint64(42), uint8(100), uint8(45)) // everyone drifts: full-size dirty set
+	f.Fuzz(func(t *testing.T, seed uint64, driftPct, magPct uint8) {
+		const clients = 5
+		drift := workload.Drift{
+			Fraction:  float64(driftPct%101) / 100,
+			Magnitude: float64(magPct%50+1) / 100,
+		}
+		r := sim.NewRand(seed)
+		base := make([]float64, clients)
+		for i := range base {
+			base[i] = r.Range(10, 40)
+		}
+		drifted := drift.Apply(r, base)
+
+		prices := []float64{1, 10, 5}
+		inc := newFleetCfg(t, prices, clients, LDDM, func(i int, cfg *ReplicaConfig) {
+			cfg.Incremental = true
+		})
+		full := newFleetCfg(t, prices, clients, LDDM, nil)
+		ctx := context.Background()
+
+		run := func(fl *fleet, demands []float64) *RoundReport {
+			for i, cl := range fl.clients {
+				if err := cl.Submit(ctx, fl.replicas[0].Addr(), demands[i], fl.uniformLatencies()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			report, err := fl.replicas[0].RunRound(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return report
+		}
+		firstInc := run(inc, base)
+		run(full, base)
+		gotInc := run(inc, drifted)
+		gotFull := run(full, drifted)
+
+		// Feasibility of the incremental round: every demand conserved,
+		// every capacity respected.
+		rows := opt.RowSums(gotInc.Assignment)
+		for i, addr := range gotInc.ClientAddrs {
+			var want float64
+			for c, cl := range inc.clients {
+				if cl.Addr() == addr {
+					want = drifted[c]
+				}
+			}
+			if math.Abs(rows[i]-want) > 1e-6*math.Max(1, want) {
+				t.Fatalf("client %s served %g, want %g", addr, rows[i], want)
+			}
+		}
+		for j, load := range opt.ColSums(gotInc.Assignment) {
+			if load > 100+1e-6 {
+				t.Fatalf("replica %s over capacity: %g", gotInc.ReplicaAddrs[j], load)
+			}
+		}
+		// Objective parity with the full solve, within the KKT gate's band
+		// plus solver tolerance.
+		tol := 0.15 * math.Max(math.Abs(gotFull.Objective), 1)
+		if math.Abs(gotInc.Objective-gotFull.Objective) > tol {
+			t.Fatalf("objective diverged: incremental %g vs full %g (dirty=%d, incremental=%v)",
+				gotInc.Objective, gotFull.Objective, gotInc.DirtyClients, gotInc.Incremental)
+		}
+		// Empty dirty set ⇒ the committed assignment is re-used, each row
+		// rescaled by its (within-epsilon) demand ratio — bitwise when the
+		// demand is literally unchanged.
+		if gotInc.Incremental && gotInc.DirtyClients == 0 {
+			for i, addr := range gotInc.ClientAddrs {
+				var dNew, dOld float64
+				for c, cl := range inc.clients {
+					if cl.Addr() == addr {
+						dNew, dOld = drifted[c], base[c]
+					}
+				}
+				for j := range gotInc.Assignment[i] {
+					want := firstInc.Assignment[i][j] * (dNew / dOld)
+					if dNew == dOld {
+						want = firstInc.Assignment[i][j]
+					}
+					if got := gotInc.Assignment[i][j]; got != want && math.Abs(got-want) > 1e-12*math.Max(1, want) {
+						t.Fatalf("clean round moved assignment[%d][%d]: %g, want %g", i, j, got, want)
+					}
+				}
+			}
+		}
+	})
+}

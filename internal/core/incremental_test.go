@@ -1,0 +1,334 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"edr/internal/opt"
+	"edr/internal/transport"
+)
+
+// drainAllocations empties every client's allocation channel so a later
+// suppression check sees only new deliveries.
+func drainAllocations(t *testing.T, f *fleet) {
+	t.Helper()
+	for _, cl := range f.clients {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		if _, err := cl.WaitAllocation(ctx); err != nil {
+			t.Fatalf("client %s got no allocation: %v", cl.Addr(), err)
+		}
+		cancel()
+	}
+}
+
+// submitAll sends one request per client with the given demands.
+func submitAll(t *testing.T, f *fleet, demands []float64) {
+	t.Helper()
+	ctx := context.Background()
+	for i, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), demands[i], f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Two identical rounds: the second must take the clean incremental path —
+// empty dirty set, zero iterations, the committed assignment re-used
+// bitwise, and every client's notify suppressed.
+func TestIncrementalIdenticalRoundsCommitClean(t *testing.T) {
+	for _, alg := range []Algorithm{LDDM, CDPSM, ADMM} {
+		t.Run(string(alg), func(t *testing.T) {
+			f := newFleetCfg(t, []float64{1, 10, 5}, 3, alg, func(i int, cfg *ReplicaConfig) {
+				cfg.Incremental = true
+			})
+			ctx := context.Background()
+			demands := []float64{30, 20, 25}
+
+			submitAll(t, f, demands)
+			first, err := f.replicas[0].RunRound(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Incremental {
+				t.Fatal("first round (no history) claimed to be incremental")
+			}
+			drainAllocations(t, f)
+
+			submitAll(t, f, demands)
+			second, err := f.replicas[0].RunRound(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !second.Incremental {
+				t.Fatal("identical second round did not take the incremental path")
+			}
+			if second.DirtyClients != 0 {
+				t.Fatalf("dirty clients = %d, want 0", second.DirtyClients)
+			}
+			if second.Iterations != 0 {
+				t.Fatalf("iterations = %d, want 0 on a clean round", second.Iterations)
+			}
+			if second.SuppressedNotifies != len(f.clients) {
+				t.Fatalf("suppressed = %d, want %d", second.SuppressedNotifies, len(f.clients))
+			}
+			for i := range second.Assignment {
+				for j := range second.Assignment[i] {
+					if second.Assignment[i][j] != first.Assignment[i][j] {
+						t.Fatalf("assignment[%d][%d] moved on a clean round: %g -> %g",
+							i, j, first.Assignment[i][j], second.Assignment[i][j])
+					}
+				}
+			}
+			if f.replicas[0].Stats.RoundsIncremental.Value() != 1 {
+				t.Fatalf("RoundsIncremental = %d", f.replicas[0].Stats.RoundsIncremental.Value())
+			}
+			// Suppression means no client sees a second allocation.
+			for _, cl := range f.clients {
+				wctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				_, err := cl.WaitAllocation(wctx)
+				cancel()
+				if err == nil {
+					t.Fatalf("client %s was notified on a clean round", cl.Addr())
+				}
+			}
+		})
+	}
+}
+
+// One drifted client: the incremental round re-solves just that client,
+// conserves every demand, and suppresses the untouched clients' notifies.
+func TestIncrementalDirtySubsetRound(t *testing.T) {
+	f := newFleetCfg(t, []float64{1, 10, 5}, 3, LDDM, func(i int, cfg *ReplicaConfig) {
+		cfg.Incremental = true
+	})
+	ctx := context.Background()
+
+	submitAll(t, f, []float64{30, 20, 25})
+	if _, err := f.replicas[0].RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drainAllocations(t, f)
+
+	drifted := []float64{33, 20, 25} // client1 +10%, others untouched
+	submitAll(t, f, drifted)
+	report, err := f.replicas[0].RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Incremental {
+		t.Fatal("drifted round did not stay incremental (gate escalated?)")
+	}
+	if report.DirtyClients != 1 {
+		t.Fatalf("dirty clients = %d, want 1", report.DirtyClients)
+	}
+	if report.SuppressedNotifies != 2 {
+		t.Fatalf("suppressed = %d, want 2", report.SuppressedNotifies)
+	}
+	rows := opt.RowSums(report.Assignment)
+	for i, addr := range report.ClientAddrs {
+		var want float64
+		for c, cl := range f.clients {
+			if cl.Addr() == addr {
+				want = drifted[c]
+			}
+		}
+		if math.Abs(rows[i]-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("client %s served %g, want %g", addr, rows[i], want)
+		}
+	}
+	// The dirty client was re-notified; the clean ones were not.
+	for c, cl := range f.clients {
+		wctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		alloc, err := cl.WaitAllocation(wctx)
+		cancel()
+		if c == 0 {
+			if err != nil {
+				t.Fatalf("drifted client got no allocation: %v", err)
+			}
+			total := 0.0
+			for _, v := range alloc.PerReplicaMB {
+				total += v
+			}
+			if math.Abs(total-33) > 1e-6 {
+				t.Fatalf("drifted client allocation sums to %g, want 33", total)
+			}
+		} else if err == nil {
+			t.Fatalf("clean client %s was re-notified", cl.Addr())
+		}
+	}
+}
+
+// A replica parameter change dirties every client that can reach it: the
+// round stays incremental but re-solves the full promoted set.
+func TestIncrementalReplicaChangePromotesClients(t *testing.T) {
+	f := newFleetCfg(t, []float64{1, 10, 5}, 3, LDDM, func(i int, cfg *ReplicaConfig) {
+		cfg.Incremental = true
+	})
+	ctx := context.Background()
+	demands := []float64{30, 20, 25}
+	submitAll(t, f, demands)
+	if _, err := f.replicas[0].RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drainAllocations(t, f)
+
+	// Tariff change on one replica between rounds.
+	f.replicas[1].mu.Lock()
+	f.replicas[1].cfg.Replica.Price *= 2
+	f.replicas[1].mu.Unlock()
+
+	submitAll(t, f, demands)
+	report, err := f.replicas[0].RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Incremental && report.DirtyClients != len(f.clients) {
+		t.Fatalf("tariff change dirtied %d of %d clients", report.DirtyClients, len(f.clients))
+	}
+	rows := opt.RowSums(report.Assignment)
+	total := 0.0
+	for _, v := range rows {
+		total += v
+	}
+	if math.Abs(total-75) > 1e-6 {
+		t.Fatalf("total served = %g, want 75", total)
+	}
+}
+
+// Cohort duals: with CohortDuals enabled, every non-representative cohort
+// member receives the cohort's final μ (ADMM is the dual-reporting
+// algorithm). Without the flag, only representatives see duals.
+func TestCohortDualsFanOut(t *testing.T) {
+	f := newFleetCfg(t, []float64{1, 10, 5}, 4, ADMM, func(i int, cfg *ReplicaConfig) {
+		cfg.CohortMinClients = 2
+		cfg.CohortDuals = true
+	})
+	ctx := context.Background()
+	// Identical latencies and equal demands: all four clients form one
+	// cohort whose representative is the first member.
+	for _, cl := range f.clients {
+		if err := cl.Submit(ctx, f.replicas[0].Addr(), 20, f.uniformLatencies()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := f.replicas[0].RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Cohorts != 1 {
+		t.Fatalf("cohorts = %d, want 1", report.Cohorts)
+	}
+	key := fmt.Sprintf("%s/%d", f.replicas[0].Addr(), report.Round)
+	var mus []float64
+	for _, cl := range f.clients {
+		cl.mu.Lock()
+		mu, ok := cl.mus[key]
+		cl.mu.Unlock()
+		if !ok {
+			t.Fatalf("client %s holds no μ for round key %s", cl.Addr(), key)
+		}
+		mus = append(mus, mu)
+	}
+	// One cohort → one shared dual on every member.
+	for i := 1; i < len(mus); i++ {
+		if mus[i] != mus[0] {
+			t.Fatalf("member μ diverged: %v", mus)
+		}
+	}
+}
+
+// The legacy fallback (a single step-1 μ-update with served=μ, demand=0)
+// must land the same absolute value MsgCohortDuals would, pinning the
+// wire-compat contract documented on the verb.
+func TestCohortDualsLegacyFallbackEquivalent(t *testing.T) {
+	net := transport.NewInProcNetwork()
+	mkClient := func(name string) *Client {
+		cl, err := NewClient(net, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	modern, legacy := mkClient("modern"), mkClient("legacy")
+	ctx := context.Background()
+	const mu, round = 3.75, 7
+
+	msg, err := transport.NewMessage(MsgCohortDuals, "replicaX", CohortDualsBody{Round: round, Mu: mu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modern.handle(ctx, msg); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := transport.NewMessage(MsgMuUpdate, "replicaX", MuUpdateBody{Round: round, Step: 1, ServedMB: mu, DemandMB: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacy.handle(ctx, fb); err != nil {
+		t.Fatal(err)
+	}
+
+	key := fmt.Sprintf("replicaX/%d", round)
+	modern.mu.Lock()
+	a := modern.mus[key]
+	modern.mu.Unlock()
+	legacy.mu.Lock()
+	b := legacy.mus[key]
+	legacy.mu.Unlock()
+	if a != mu || b != mu {
+		t.Fatalf("μ mismatch: cohort verb %g, legacy fallback %g, want %g", a, b, mu)
+	}
+}
+
+// A suppressed client must not be starved: change-suppressed rounds push
+// nothing to clients whose split did not move, so a one-shot client (the
+// edrctl path) falls back to pulling its committed row. The submission ack
+// carries a round watermark; the pull is accepted once the committed round
+// passes it and the row's mass matches the submitted demand.
+func TestPullAllocationAfterQuietRound(t *testing.T) {
+	f := newFleetCfg(t, []float64{1, 10, 5}, 2, LDDM, func(i int, cfg *ReplicaConfig) {
+		cfg.Incremental = true
+	})
+	ctx := context.Background()
+	demands := []float64{30, 20}
+
+	submitAll(t, f, demands)
+	if _, err := f.replicas[0].RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drainAllocations(t, f)
+
+	// Identical resubmission: the quiet round suppresses every push.
+	submitAll(t, f, demands)
+	report, err := f.replicas[0].RunRound(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SuppressedNotifies != len(f.clients) {
+		t.Fatalf("suppressed = %d, want %d", report.SuppressedNotifies, len(f.clients))
+	}
+
+	// The steady wait still delivers each client's row, via the pull verb.
+	for i, cl := range f.clients {
+		wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		alloc, err := cl.WaitAllocationSteady(wctx, 10*time.Millisecond)
+		cancel()
+		if err != nil {
+			t.Fatalf("client %s starved on a quiet round: %v", cl.Addr(), err)
+		}
+		if alloc.Round != report.Round {
+			t.Errorf("client %s pulled round %d, want committed round %d", cl.Addr(), alloc.Round, report.Round)
+		}
+		var sum float64
+		for _, mb := range alloc.PerReplicaMB {
+			sum += mb
+		}
+		if math.Abs(sum-demands[i]) > 1e-6*demands[i] {
+			t.Errorf("client %s pulled row sums to %g, want %g", cl.Addr(), sum, demands[i])
+		}
+	}
+}

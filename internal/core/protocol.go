@@ -46,6 +46,20 @@ const (
 	// demands) in one message built once per cohort. Clients that do not
 	// know the verb reject it and receive the legacy MsgAllocation instead.
 	MsgCohortAllocation = "client.allocation.cohort"
+	// MsgAllocationPull is client → initiator: fetch the caller's row of
+	// the last committed round. Change-suppressed rounds deliberately skip
+	// the allocation push for clients whose split did not move, which is
+	// right for a persistent client (it keeps serving its last allocation)
+	// but starves a one-shot client that re-submitted and is waiting for
+	// an answer. Such a client polls this verb until the reply's Round
+	// passes the watermark its submission ack reported.
+	MsgAllocationPull = "client.allocation.pull"
+	// MsgCohortDuals is initiator → client on cohorted rounds (opt-in via
+	// ReplicaConfig.CohortDuals): deliver the cohort's final dual μ to
+	// every member, not just the representative the iteration protocol
+	// routed through. Clients that do not know the verb reject it and
+	// receive a legacy μ-update reproducing the same value instead.
+	MsgCohortDuals = "client.duals.cohort"
 	// MsgDownload is client → replica: fetch the selected bytes.
 	MsgDownload = "download.request"
 )
@@ -84,6 +98,13 @@ type ReplicaInfo struct {
 	Beta      float64 `json:"beta"`
 	Gamma     float64 `json:"gamma"`
 	Bandwidth float64 `json:"bandwidth"`
+	// BaseMB is frozen load already committed to this replica by rows
+	// outside the round's problem. Replicas report 0; the initiator sets
+	// it on incremental sub-rounds, where Bandwidth carries the residual
+	// capacity and the energy model must be evaluated at BaseMB + load
+	// (see model.Replica.Base). Omitted on the wire when zero, so full
+	// rounds are byte-identical to pre-incremental builds.
+	BaseMB float64 `json:"base_mb,omitempty"`
 }
 
 // RequestBody is the client.request payload.
@@ -103,6 +124,17 @@ type RequestAck struct {
 	Accepted bool `json:"accepted"`
 	// Pending is the initiator's queue depth after admission.
 	Pending int `json:"pending"`
+	// Round is the highest round id that does NOT cover this submission:
+	// the initiator's round sequence at admission. The queue drains into a
+	// round under the same lock that admitted this request, so the first
+	// committed round with id beyond this watermark includes the caller —
+	// poll MsgAllocationPull until the reply passes it.
+	Round int `json:"round,omitempty"`
+}
+
+// PullBody asks the initiator for the caller's committed allocation row.
+type PullBody struct {
+	ClientAddr string `json:"client_addr"`
 }
 
 // RoundSpec ships the full problem of one round to every replica.
@@ -133,14 +165,30 @@ type RoundSpec struct {
 	Warm [][]float64 `json:"warm,omitempty"`
 }
 
-// AssignBody installs the final per-replica serving plan.
+// AssignBody installs the final per-replica serving plan. Two forms:
+// the full form carries the replica's whole column (Column/ClientAddrs),
+// while the delta form (BaseRound > 0) tells the replica to start from
+// the plan it installed for BaseRound and apply only Updates — the
+// incremental path's change-suppressed install, which shrinks the
+// steady-state fan-out from O(|C|) to O(dirty). A replica holding no
+// state for BaseRound rejects the delta, failing the round into its
+// usual restart/escalation path; the initiator only sends deltas against
+// a round it installed on every member, so that means the member lost
+// state (restart) and the full solve re-seeds it.
 type AssignBody struct {
 	Round int `json:"round"`
 	// Column[c] is the MB this replica serves to client c (row order of
-	// the round spec).
+	// the round spec). Empty in the delta form.
 	Column []float64 `json:"column"`
-	// ClientAddrs mirrors the round spec's row order.
+	// ClientAddrs mirrors the round spec's row order. Empty in the delta
+	// form.
 	ClientAddrs []string `json:"client_addrs"`
+	// BaseRound selects the delta form: the already-installed round whose
+	// plan this round starts from.
+	BaseRound int `json:"base_round,omitempty"`
+	// Updates maps client address → MB for every entry that differs from
+	// the base plan; a non-positive value removes the client.
+	Updates map[string]float64 `json:"updates,omitempty"`
 }
 
 // AllocationBody tells a client how its demand was split.
@@ -171,6 +219,16 @@ type CohortAllocationBody struct {
 	// UnitMB[t] is the fraction of a member's demand served by Replicas[t]
 	// (sums to 1 when the cohort carries load).
 	UnitMB []float64 `json:"unit_mb"`
+}
+
+// CohortDualsBody delivers a cohort's final dual to one member. μ is a
+// per-unit congestion price shared by every member of a cohort (they are
+// interchangeable rows of the transportation polytope), so one scalar per
+// member suffices and the body is built once per cohort.
+type CohortDualsBody struct {
+	Round int `json:"round"`
+	// Mu is the cohort's final multiplier μ for this round.
+	Mu float64 `json:"mu"`
 }
 
 // DownloadBody requests bytes from a replica.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"edr/internal/cohort"
 	"edr/internal/engine"
 	"edr/internal/membership"
 	"edr/internal/metrics"
@@ -35,6 +36,7 @@ type ReplicaServer struct {
 	infoCache  map[string]ReplicaInfo // model parameters of every replica ever seen in a round
 	pool       *opt.Pool              // recycles initiator-side round scratch
 	par        *opt.Parallel          // fans solver kernels across cores (nil = serial)
+	registry   *cohort.Registry       // stable cross-round cohort identity (initiator side)
 
 	// Stats are exported runtime counters.
 	Stats ReplicaStats
@@ -42,14 +44,16 @@ type ReplicaServer struct {
 
 // ReplicaStats aggregates a replica's runtime activity.
 type ReplicaStats struct {
-	RequestsReceived metrics.Counter
-	RoundsInitiated  metrics.Counter
-	RoundsRestarted  metrics.Counter
-	RoundsDegraded   metrics.Counter // rounds served from the stale fallback
-	DownloadsServed  metrics.Counter
-	MBServed         metrics.Counter // whole MB, rounded down per download
-	CoordMessages    metrics.Counter // coordination messages this node sent
-	SendRetried      metrics.Counter // coordination RPC retry attempts
+	RequestsReceived  metrics.Counter
+	RoundsInitiated   metrics.Counter
+	RoundsRestarted   metrics.Counter
+	RoundsDegraded    metrics.Counter // rounds served from the stale fallback
+	RoundsIncremental metrics.Counter // rounds solved over the dirty subset only
+	RoundsEscalated   metrics.Counter // incremental attempts the gate sent to a full solve
+	DownloadsServed   metrics.Counter
+	MBServed          metrics.Counter // whole MB, rounded down per download
+	CoordMessages     metrics.Counter // coordination messages this node sent
+	SendRetried       metrics.Counter // coordination RPC retry attempts
 }
 
 // lastGoodRound caches the initiator's view of its latest successful
@@ -57,6 +61,10 @@ type ReplicaStats struct {
 // (rows follow clientAddrs, columns follow infos). Degraded rounds
 // renormalize it over whichever replicas are still reachable.
 type lastGoodRound struct {
+	// round is the committed round id. Clean incremental commits advance
+	// it too (they commit a round without installing anything), so it is
+	// the watermark MsgAllocationPull callers compare against.
+	round       int
 	infos       []ReplicaInfo
 	clientAddrs []string
 	assignment  [][]float64
@@ -64,6 +72,20 @@ type lastGoodRound struct {
 	// algorithm reported them (engine.DualReporter); the next warm start
 	// seeds the dual from here.
 	mus map[string]float64
+	// prob is the full per-client problem the assignment solved
+	// (rows follow clientAddrs, columns follow infos); the incremental
+	// path diffs the next round against it. Nil on degraded commits.
+	prob *opt.Problem
+	// objective is the committed assignment's cost under prob.
+	objective float64
+	// installed is the assignment actually fanned out to replica round
+	// state, and installedRound the round id it was installed under.
+	// Usually identical to assignment, but a clean incremental commit
+	// (commitClean) rescales rows without re-installing anything, so the
+	// two can drift apart; the delta install diffs against installed —
+	// what replicas really hold — never against assignment.
+	installed      [][]float64
+	installedRound int
 }
 
 // roundState is the participant-side view of one round: the engine's
@@ -88,6 +110,7 @@ func NewReplicaServer(network transport.Network, addr string, members []string, 
 		rounds:    make(map[int]*roundState),
 		infoCache: make(map[string]ReplicaInfo),
 		pool:      &opt.Pool{},
+		registry:  cohort.NewRegistry(),
 	}
 	r.par = opt.NewParallel(r.cfg.Parallelism)
 	if _, ok := engine.Lookup(string(r.cfg.Algorithm)); !ok {
@@ -215,22 +238,24 @@ func (r *ReplicaServer) LastReport() *RoundReport {
 // membership, suspicion, queue depth, cumulative counters, and the last
 // completed round (including its assignment matrix).
 type Status struct {
-	Addr             string       `json:"addr"`
-	Algorithm        string       `json:"algorithm"`
-	Ring             []string     `json:"ring"`
-	Epoch            int          `json:"epoch"`
-	Drained          []string     `json:"drained,omitempty"`
-	Suspect          string       `json:"suspect,omitempty"`
-	SuspectMisses    int          `json:"suspect_misses,omitempty"`
-	Pending          int          `json:"pending"`
-	RequestsReceived int64        `json:"requests_received"`
-	RoundsInitiated  int64        `json:"rounds_initiated"`
-	RoundsRestarted  int64        `json:"rounds_restarted"`
-	RoundsDegraded   int64        `json:"rounds_degraded"`
-	DownloadsServed  int64        `json:"downloads_served"`
-	SendRetried      int64        `json:"send_retried"`
-	Degraded         bool         `json:"degraded"` // last round fell back
-	LastRound        *RoundReport `json:"last_round,omitempty"`
+	Addr              string       `json:"addr"`
+	Algorithm         string       `json:"algorithm"`
+	Ring              []string     `json:"ring"`
+	Epoch             int          `json:"epoch"`
+	Drained           []string     `json:"drained,omitempty"`
+	Suspect           string       `json:"suspect,omitempty"`
+	SuspectMisses     int          `json:"suspect_misses,omitempty"`
+	Pending           int          `json:"pending"`
+	RequestsReceived  int64        `json:"requests_received"`
+	RoundsInitiated   int64        `json:"rounds_initiated"`
+	RoundsRestarted   int64        `json:"rounds_restarted"`
+	RoundsDegraded    int64        `json:"rounds_degraded"`
+	RoundsIncremental int64        `json:"rounds_incremental,omitempty"`
+	RoundsEscalated   int64        `json:"rounds_escalated,omitempty"`
+	DownloadsServed   int64        `json:"downloads_served"`
+	SendRetried       int64        `json:"send_retried"`
+	Degraded          bool         `json:"degraded"` // last round fell back
+	LastRound         *RoundReport `json:"last_round,omitempty"`
 }
 
 // Status snapshots the replica's runtime state for the admin plane.
@@ -238,20 +263,22 @@ func (r *ReplicaServer) Status() Status {
 	suspect, misses := r.mon.Suspicion()
 	epoch := r.member.Current()
 	s := Status{
-		Addr:             r.Addr(),
-		Algorithm:        r.cfg.Algorithm.String(),
-		Ring:             r.ring.Members(),
-		Epoch:            epoch.Seq,
-		Drained:          epoch.Drained,
-		Suspect:          suspect,
-		SuspectMisses:    misses,
-		Pending:          r.PendingRequests(),
-		RequestsReceived: r.Stats.RequestsReceived.Value(),
-		RoundsInitiated:  r.Stats.RoundsInitiated.Value(),
-		RoundsRestarted:  r.Stats.RoundsRestarted.Value(),
-		RoundsDegraded:   r.Stats.RoundsDegraded.Value(),
-		DownloadsServed:  r.Stats.DownloadsServed.Value(),
-		SendRetried:      r.Stats.SendRetried.Value(),
+		Addr:              r.Addr(),
+		Algorithm:         r.cfg.Algorithm.String(),
+		Ring:              r.ring.Members(),
+		Epoch:             epoch.Seq,
+		Drained:           epoch.Drained,
+		Suspect:           suspect,
+		SuspectMisses:     misses,
+		Pending:           r.PendingRequests(),
+		RequestsReceived:  r.Stats.RequestsReceived.Value(),
+		RoundsInitiated:   r.Stats.RoundsInitiated.Value(),
+		RoundsRestarted:   r.Stats.RoundsRestarted.Value(),
+		RoundsDegraded:    r.Stats.RoundsDegraded.Value(),
+		RoundsIncremental: r.Stats.RoundsIncremental.Value(),
+		RoundsEscalated:   r.Stats.RoundsEscalated.Value(),
+		DownloadsServed:   r.Stats.DownloadsServed.Value(),
+		SendRetried:       r.Stats.SendRetried.Value(),
 	}
 	s.LastRound = r.LastReport()
 	if s.LastRound != nil {
@@ -274,6 +301,8 @@ func (r *ReplicaServer) handle(ctx context.Context, req transport.Message) (tran
 		return r.handleRoundStart(req)
 	case MsgAssign:
 		return r.handleAssign(req)
+	case MsgAllocationPull:
+		return r.handleAllocationPull(req)
 	case MsgDownload:
 		return r.handleDownload(req)
 	case ring.HeartbeatType:
@@ -380,9 +409,43 @@ func (r *ReplicaServer) handleClientRequest(req transport.Message) (transport.Me
 		r.pending[body.ClientAddr] = &body
 	}
 	depth := len(r.pending)
+	seq := r.roundSeq
 	r.mu.Unlock()
 	r.Stats.RequestsReceived.Inc(1)
-	return transport.NewMessage(MsgClientRequest+".ack", r.Addr(), RequestAck{Accepted: true, Pending: depth})
+	return transport.NewMessage(MsgClientRequest+".ack", r.Addr(), RequestAck{Accepted: true, Pending: depth, Round: seq})
+}
+
+// handleAllocationPull serves a client's row of the last committed round.
+// This is the pull half of change-suppressed fan-out: quiet rounds push
+// nothing, so a non-persistent client retrieves its (unchanged) split here.
+// The row comes from the committed assignment — always ordered by the
+// committed clientAddrs — not the install history, whose row order can
+// predate a clean commit.
+func (r *ReplicaServer) handleAllocationPull(req transport.Message) (transport.Message, error) {
+	var body PullBody
+	if err := req.DecodeBody(&body); err != nil {
+		return transport.Message{}, err
+	}
+	reply := AllocationBody{Algorithm: r.cfg.Algorithm.String()}
+	r.mu.Lock()
+	if lg := r.lastGood; lg != nil {
+		reply.Round = lg.round
+		for i, addr := range lg.clientAddrs {
+			if addr != body.ClientAddr {
+				continue
+			}
+			per := make(map[string]float64, len(lg.infos))
+			for j, info := range lg.infos {
+				if lg.assignment[i][j] > 0 {
+					per[info.Addr] = lg.assignment[i][j]
+				}
+			}
+			reply.PerReplicaMB = per
+			break
+		}
+	}
+	r.mu.Unlock()
+	return transport.NewMessage(MsgAllocationPull+".ack", r.Addr(), reply)
 }
 
 // handleReplicaInfo reports this replica's model parameters.
@@ -409,6 +472,7 @@ func specProblem(spec *RoundSpec) (*opt.Problem, error) {
 			Beta:      info.Beta,
 			Gamma:     info.Gamma,
 			Bandwidth: info.Bandwidth,
+			Base:      info.BaseMB,
 		}
 	}
 	sys, err := model.NewSystem(replicas)
@@ -481,7 +545,8 @@ func (r *ReplicaServer) lookupRound(round int) (*roundState, error) {
 	return st, nil
 }
 
-// handleAssign installs the final serving plan.
+// handleAssign installs the final serving plan — either a full column or
+// a delta against an earlier round's installed plan (see AssignBody).
 func (r *ReplicaServer) handleAssign(req transport.Message) (transport.Message, error) {
 	var body AssignBody
 	if err := req.DecodeBody(&body); err != nil {
@@ -491,13 +556,38 @@ func (r *ReplicaServer) handleAssign(req transport.Message) (transport.Message, 
 	if err != nil {
 		return transport.Message{}, err
 	}
-	if len(body.Column) != len(body.ClientAddrs) {
-		return transport.Message{}, fmt.Errorf("core: assign round %d: %d amounts for %d clients", body.Round, len(body.Column), len(body.ClientAddrs))
-	}
-	plan := make(map[string]float64, len(body.Column))
-	for i, addr := range body.ClientAddrs {
-		if body.Column[i] > 0 {
-			plan[addr] = body.Column[i]
+	var plan map[string]float64
+	if body.BaseRound > 0 {
+		base, err := r.lookupRound(body.BaseRound)
+		if err != nil {
+			return transport.Message{}, fmt.Errorf("core: delta assign round %d: %w", body.Round, err)
+		}
+		r.mu.Lock()
+		basePlan := base.plan
+		r.mu.Unlock()
+		if basePlan == nil {
+			return transport.Message{}, fmt.Errorf("core: delta assign round %d: round %d has no installed plan", body.Round, body.BaseRound)
+		}
+		plan = make(map[string]float64, len(basePlan)+len(body.Updates))
+		for addr, mb := range basePlan {
+			plan[addr] = mb
+		}
+		for addr, mb := range body.Updates {
+			if mb > 0 {
+				plan[addr] = mb
+			} else {
+				delete(plan, addr)
+			}
+		}
+	} else {
+		if len(body.Column) != len(body.ClientAddrs) {
+			return transport.Message{}, fmt.Errorf("core: assign round %d: %d amounts for %d clients", body.Round, len(body.Column), len(body.ClientAddrs))
+		}
+		plan = make(map[string]float64, len(body.Column))
+		for i, addr := range body.ClientAddrs {
+			if body.Column[i] > 0 {
+				plan[addr] = body.Column[i]
+			}
 		}
 	}
 	r.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"edr/internal/cohort"
@@ -52,6 +53,17 @@ type RoundReport struct {
 	// CohortRatio is the grouping's compression ratio |C|/|K|
 	// (0 when ungrouped).
 	CohortRatio float64 `json:"cohort_ratio,omitempty"`
+	// Incremental reports that the round re-solved only the dirty subset
+	// of clients against residual capacity (see ReplicaConfig.Incremental),
+	// with every clean client keeping its committed row. A round with
+	// DirtyClients == 0 committed the previous assignment outright.
+	Incremental bool `json:"incremental,omitempty"`
+	// DirtyClients is how many clients the incremental diff re-solved
+	// (len(ClientAddrs) on full rounds with Incremental unset).
+	DirtyClients int `json:"dirty_clients,omitempty"`
+	// SuppressedNotifies counts clients not re-notified because their
+	// allocation row moved at most DeltaEps of their demand.
+	SuppressedNotifies int `json:"suppressed_notifies,omitempty"`
 	// Duration is the wall time of the whole round, restarts included.
 	Duration time.Duration `json:"duration_ns"`
 	// Residuals and Costs are the per-iteration convergence residual and
@@ -233,6 +245,11 @@ func (r *ReplicaServer) RunRound(ctx context.Context) (*RoundReport, error) {
 	}
 	r.pending = make(map[string]*RequestBody)
 	r.mu.Unlock()
+	// Deterministic row order (the pending map iterates randomly): a
+	// stable roster then yields identical row order round over round,
+	// which is what lets the incremental diff run with identity row maps
+	// and the cohort registry hit its cross-round cache.
+	sort.Slice(requests, func(i, j int) bool { return requests[i].ClientAddr < requests[j].ClientAddr })
 	r.Stats.RoundsInitiated.Inc(1)
 	start := time.Now()
 
@@ -299,19 +316,22 @@ func (r *ReplicaServer) finishRound(report *RoundReport, start time.Time) {
 	r.lastReport = report
 	r.mu.Unlock()
 	r.cfg.Telemetry.Publish(telemetry.RoundCompleted{
-		Round:       report.Round,
-		Algorithm:   report.Algorithm,
-		Iterations:  report.Iterations,
-		Restarts:    report.Restarts,
-		Clients:     len(report.ClientAddrs),
-		Replicas:    len(report.ReplicaAddrs),
-		Objective:   report.Objective,
-		Duration:    report.Duration,
-		Degraded:    report.Degraded,
-		Cohorts:     report.Cohorts,
-		CohortRatio: report.CohortRatio,
-		Residuals:   report.Residuals,
-		Costs:       report.Costs,
+		Round:              report.Round,
+		Algorithm:          report.Algorithm,
+		Iterations:         report.Iterations,
+		Restarts:           report.Restarts,
+		Clients:            len(report.ClientAddrs),
+		Replicas:           len(report.ReplicaAddrs),
+		Objective:          report.Objective,
+		Duration:           report.Duration,
+		Degraded:           report.Degraded,
+		Cohorts:            report.Cohorts,
+		CohortRatio:        report.CohortRatio,
+		Incremental:        report.Incremental,
+		DirtyClients:       report.DirtyClients,
+		SuppressedNotifies: report.SuppressedNotifies,
+		Residuals:          report.Residuals,
+		Costs:              report.Costs,
 	})
 }
 
@@ -484,10 +504,24 @@ func asFailedMember(err error, target **failedMemberError) bool {
 	return false
 }
 
-// runRoundOnce executes one attempt over the current ring membership,
+// runRoundOnce executes one attempt over the current ring membership. The
+// first try may take the incremental path (dirty-subset solve against the
+// committed assignment); when the incremental gate rejects its result, the
+// attempt re-runs immediately as a full solve — escalation is a retry of
+// this attempt, not a round restart.
+func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBody, restarts int) (*RoundReport, error) {
+	report, err := r.runRoundAttempt(ctx, requests, restarts, true)
+	if err == errEscalateFull {
+		r.Stats.RoundsEscalated.Inc(1)
+		report, err = r.runRoundAttempt(ctx, requests, restarts, false)
+	}
+	return report, err
+}
+
+// runRoundAttempt executes one attempt over the current ring membership,
 // excluding drained members (they keep heartbeating and serving installed
 // plans, but take no new load — the membership layer's drain semantics).
-func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBody, restarts int) (*RoundReport, error) {
+func (r *ReplicaServer) runRoundAttempt(ctx context.Context, requests []*RequestBody, restarts int, allowIncremental bool) (*RoundReport, error) {
 	members := r.activeMembers()
 	if len(members) == 0 {
 		return nil, fmt.Errorf("core: replica %s: no active ring members", r.Addr())
@@ -504,8 +538,12 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	}); err != nil {
 		return nil, err
 	}
+	// Deterministic column order, mirroring the request-row sort: byte
+	// keys in the cohort registry and row/column maps in the incremental
+	// diff stay aligned across rounds of a stable roster.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Addr < infos[j].Addr })
 
-	// 2. Build the round spec: rows in request order, columns in ring
+	// 2. Build the round spec: rows in request order, columns in address
 	// order. Latencies a client did not measure are treated as beyond the
 	// bound (the replica is not a candidate for that client).
 	r.mu.Lock()
@@ -535,6 +573,17 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		return nil, err
 	}
 
+	// Incremental re-optimization: when the committed round covers this
+	// one's roster, diff against it and solve only the dirty subset (or
+	// commit outright when nothing drifted). Gate failures surface as
+	// errEscalateFull, which runRoundOnce answers by re-running this
+	// attempt with allowIncremental false.
+	if r.cfg.Incremental && allowIncremental {
+		if plan := r.planIncremental(requests, infos, prob); plan != nil {
+			return r.runIncremental(ctx, requests, infos, &spec, prob, plan, round, restarts)
+		}
+	}
+
 	// Cohort aggregation: at client scale, merge clients sharing a
 	// feasibility mask and latency class into virtual clients and run the
 	// distributed loop on the reduced instance. The objective depends on
@@ -542,11 +591,14 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 	// optimum matches the ungrouped one and disaggregation loses nothing
 	// (see internal/cohort). The grouping is skipped when it would not
 	// compress — a round over distinct clients gains nothing from an
-	// extra indirection.
+	// extra indirection. Grouping goes through the cross-round registry:
+	// quiet rounds over a stable roster reuse the cached partition and
+	// primed sparsity outright, and surviving cohorts keep their relative
+	// order either way.
 	solveSpec, solveProb := &spec, prob
 	var grouping *cohort.Grouping
 	if min := r.cfg.CohortMinClients; min > 0 && len(requests) >= min {
-		g, gerr := cohort.Group(prob, cohort.Options{
+		g, _, gerr := r.registry.Group(prob, cohort.Options{
 			Quantum:    r.cfg.CohortQuantumSec,
 			MaxCohorts: r.cfg.CohortMax,
 		})
@@ -713,6 +765,9 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 						mus[spec.ClientAddrs[c]] = v
 					}
 				}
+				if r.cfg.CohortDuals {
+					r.fanOutCohortDuals(ctx, round, spec.ClientAddrs, grouping, duals)
+				}
 			} else {
 				for i, addr := range spec.ClientAddrs {
 					mus[addr] = duals[i]
@@ -720,8 +775,19 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 			}
 		}
 	}
+	objective := prob.Cost(assignment)
 	r.mu.Lock()
-	r.lastGood = &lastGoodRound{infos: infos, clientAddrs: spec.ClientAddrs, assignment: assignment, mus: mus}
+	r.lastGood = &lastGoodRound{
+		round:          round,
+		infos:          infos,
+		clientAddrs:    spec.ClientAddrs,
+		assignment:     assignment,
+		mus:            mus,
+		prob:           prob,
+		objective:      objective,
+		installed:      assignment,
+		installedRound: round,
+	}
 	for _, info := range infos {
 		r.infoCache[info.Addr] = info
 	}
@@ -735,7 +801,7 @@ func (r *ReplicaServer) runRoundOnce(ctx context.Context, requests []*RequestBod
 		ReplicaAddrs: replicaAddrs,
 		ClientAddrs:  spec.ClientAddrs,
 		Assignment:   assignment,
-		Objective:    prob.Cost(assignment),
+		Objective:    objective,
 		WarmStarted:  solveSpec.Warm != nil,
 		Residuals:    trace.residuals,
 		Costs:        trace.costs,
@@ -835,6 +901,46 @@ func (r *ReplicaServer) notifyClients(ctx context.Context, round int, clientAddr
 			Iterations:   iterations,
 		}
 		_, _ = r.sendRetry(ctx, clientAddrs[i], MsgAllocation, body)
+		return nil
+	})
+}
+
+// fanOutCohortDuals delivers each cohort's final dual μ to its
+// non-representative members (the representative already owns μ through
+// the iteration protocol). The body is built and marshaled once per
+// cohort. Members that reject the verb — clients predating it — get a
+// legacy μ-update instead: their accumulator for this round is untouched
+// (only representatives receive in-round updates), so a single step-1
+// update with served=μ and demand=0 lands the same absolute value.
+// Failures never abort the round.
+func (r *ReplicaServer) fanOutCohortDuals(ctx context.Context, round int, clientAddrs []string, g *cohort.Grouping, duals []float64) {
+	if len(duals) < g.K() {
+		return
+	}
+	type target struct{ i, k int }
+	var targets []target
+	msgs := make([]transport.Message, g.K())
+	for k := 0; k < g.K(); k++ {
+		mem := g.Members(k)
+		if len(mem) < 2 {
+			continue
+		}
+		if msg, err := r.newMessage(MsgCohortDuals, CohortDualsBody{Round: round, Mu: duals[k]}); err == nil {
+			msgs[k] = msg
+		}
+		for _, c := range mem[1:] {
+			targets = append(targets, target{c, k})
+		}
+	}
+	_ = engine.FanOut(ctx, len(targets), func(ctx context.Context, t int) error {
+		tg := targets[t]
+		if msgs[tg.k].Type != "" {
+			if _, err := r.sendMsgRetry(ctx, clientAddrs[tg.i], msgs[tg.k]); err == nil || ctx.Err() != nil {
+				return nil
+			}
+		}
+		body := MuUpdateBody{Round: round, Step: 1, ServedMB: duals[tg.k], DemandMB: 0}
+		_, _ = r.sendRetry(ctx, clientAddrs[tg.i], MsgMuUpdate, body)
 		return nil
 	})
 }

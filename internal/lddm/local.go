@@ -57,19 +57,24 @@ func (lp *LocalProblem) Validate() error {
 }
 
 // marginalLoad inverts the marginal-cost function: the load S at which
-// u·(α + βγ·S^{γ−1}) equals m, or 0 when m is below the idle marginal and
-// +Inf when β or γ make the polynomial term vanish and m exceeds the
-// constant marginal.
+// u·(α + βγ·(Base+S)^{γ−1}) equals m, or 0 when m is below the idle
+// marginal and +Inf when β or γ make the polynomial term vanish and m
+// exceeds the constant marginal. A frozen Base shifts the curve left: the
+// returned S is the *additional* load this solve may place on top of it.
 func marginalLoad(r model.Replica, m float64) float64 {
-	base := r.Price * r.Alpha
-	if m <= base {
+	idle := r.Price * r.Alpha
+	if m <= idle {
 		return 0
 	}
 	poly := r.Price * r.Beta * r.Gamma
 	if poly <= 0 || r.Gamma == 1 {
 		return math.Inf(1) // marginal cost is constant; any load qualifies
 	}
-	return math.Pow((m-base)/poly, 1/(r.Gamma-1))
+	s := math.Pow((m-idle)/poly, 1/(r.Gamma-1)) - r.Base
+	if s < 0 {
+		return 0
+	}
+	return s
 }
 
 // SolveLocal solves the replica-local problem exactly by water-filling.

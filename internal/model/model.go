@@ -51,6 +51,15 @@ type Replica struct {
 	Gamma float64
 	// Bandwidth is B_n, the bandwidth capacity in MB/s.
 	Bandwidth float64
+	// Base is a frozen load offset (MB) already committed to this replica
+	// by assignment rows outside the current subproblem. Energy and
+	// MarginalCost evaluate the model at Base+load so that a restricted
+	// (dirty-set) solve over the remaining rows optimizes the true global
+	// objective: E_n(Base+load) differs from the restricted objective only
+	// by the constant E_n(Base), so minimizers coincide, and the marginal
+	// seen by every solver is the true marginal at the total column load.
+	// Zero (the default) recovers the plain Table I model.
+	Base float64
 }
 
 // NewReplica returns a replica with the paper's default α, β, γ, a 100 MB/s
@@ -79,6 +88,8 @@ func (r Replica) Validate() error {
 		return fmt.Errorf("model: replica %q: gamma %g < 1 (must be convex)", r.Name, r.Gamma)
 	case r.Bandwidth <= 0:
 		return fmt.Errorf("model: replica %q: non-positive bandwidth %g", r.Name, r.Bandwidth)
+	case r.Base < 0 || math.IsNaN(r.Base):
+		return fmt.Errorf("model: replica %q: invalid base load %g", r.Name, r.Base)
 	}
 	return nil
 }
@@ -90,9 +101,20 @@ func (r Replica) Validate() error {
 // This is the paper's Eq. 7 restricted to a single node (without the price
 // factor). Negative load is invalid and reported as NaN so that optimizer
 // bugs surface loudly in tests rather than silently producing credit.
+//
+// With a non-zero Base the evaluation point shifts to Base+load and the
+// frozen portion's energy is subtracted back out:
+//
+//	E_n(load) = α_n·load + β_n·((Base+load)^{γ_n} − Base^{γ_n})
+//
+// so Energy(0) stays 0 while the curvature each solver sees is that of the
+// true total column load.
 func (r Replica) Energy(load float64) float64 {
 	if load < 0 {
 		return math.NaN()
+	}
+	if r.Base > 0 {
+		return r.Alpha*load + r.Beta*(math.Pow(r.Base+load, r.Gamma)-math.Pow(r.Base, r.Gamma))
 	}
 	return r.Alpha*load + r.Beta*math.Pow(load, r.Gamma)
 }
@@ -104,12 +126,13 @@ func (r Replica) Cost(load float64) float64 {
 }
 
 // MarginalCost returns d(Cost)/d(load) = u_n·(α_n + β_n·γ_n·load^{γ_n−1}),
-// the derivative used by every gradient-based solver in this module.
+// the derivative used by every gradient-based solver in this module. With a
+// non-zero Base the derivative is taken at the total column load Base+load.
 func (r Replica) MarginalCost(load float64) float64 {
 	if load < 0 {
 		return math.NaN()
 	}
-	return r.Price * (r.Alpha + r.Beta*r.Gamma*math.Pow(load, r.Gamma-1))
+	return r.Price * (r.Alpha + r.Beta*r.Gamma*math.Pow(r.Base+load, r.Gamma-1))
 }
 
 // System is the set of replicas making up the modeled cloud.

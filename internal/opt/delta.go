@@ -1,0 +1,170 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RoundDelta classifies how one round's problem differs from the previous
+// committed round. It is the contract between the runtime's incremental
+// re-optimization path and the solver layer: clients outside DirtyClients
+// may keep their committed assignment rows verbatim, because neither their
+// demand, their feasibility row, nor any replica they can reach has
+// changed; only the dirty rows need a fresh solve (against residual
+// capacity, with the clean rows' column loads frozen into Replica.Base).
+type RoundDelta struct {
+	// DirtyClients lists next-round row indices that must be re-solved,
+	// ascending. A client is dirty when its demand drifted beyond the
+	// relative epsilon, its feasibility row changed, it is new this round,
+	// or any replica it can reach is dirty (the promotion rule: a changed
+	// replica re-prices every column entry on it, so all of its reachable
+	// rows re-enter the subproblem and the frozen load on a dirty replica
+	// is exactly zero).
+	DirtyClients []int
+	// CleanClients is the ascending complement of DirtyClients.
+	CleanClients []int
+	// DirtyReplicas lists next-round column indices whose energy-model
+	// parameters (price, α, β, γ, bandwidth) changed, ascending.
+	DirtyReplicas []int
+
+	// DemandDrift counts clients dirty because of demand movement.
+	DemandDrift int
+	// MaskChanged counts clients dirty because their feasibility row
+	// changed (including clients new this round).
+	MaskChanged int
+	// Promoted counts clients dirty only by replica promotion.
+	Promoted int
+}
+
+// Dirty reports whether any re-solve work exists at all. A false return is
+// the quiet-round fast path: the committed assignment is already optimal
+// for this round's problem.
+func (d *RoundDelta) Dirty() bool { return len(d.DirtyClients) > 0 }
+
+// DiffRounds diffs the next round's problem against the previous committed
+// one and returns the dirty sets.
+//
+// rowMap[c] gives the previous-round row index of next-round client c, or
+// −1 for a client with no previous row (new this round → dirty). colMap[n]
+// gives the previous-round column of next-round replica n; the replica
+// rosters must be identical up to permutation — membership changes are an
+// epoch change the caller handles by full solve, not a diff. eps is the
+// relative demand-drift threshold: client c is clean only while
+// |R_new − R_old| ≤ eps·max(R_old, R_new, tiny).
+func DiffRounds(prev, next *Problem, rowMap, colMap []int, eps float64) (*RoundDelta, error) {
+	if len(rowMap) != next.C() {
+		return nil, fmt.Errorf("opt: DiffRounds rowMap has %d entries for %d clients", len(rowMap), next.C())
+	}
+	if len(colMap) != next.N() || next.N() != prev.N() {
+		return nil, fmt.Errorf("opt: DiffRounds colMap has %d entries for %d→%d replicas",
+			len(colMap), prev.N(), next.N())
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("opt: DiffRounds negative epsilon %g", eps)
+	}
+	seen := make([]bool, prev.N())
+	for n, pn := range colMap {
+		if pn < 0 || pn >= prev.N() || seen[pn] {
+			return nil, fmt.Errorf("opt: DiffRounds colMap[%d]=%d is not a permutation of the previous columns", n, pn)
+		}
+		seen[pn] = true
+	}
+
+	d := &RoundDelta{}
+	dirtyRep := make([]bool, next.N())
+	for n := range dirtyRep {
+		a, b := next.System.Replicas[n], prev.System.Replicas[colMap[n]]
+		if a.Price != b.Price || a.Alpha != b.Alpha || a.Beta != b.Beta ||
+			a.Gamma != b.Gamma || a.Bandwidth != b.Bandwidth {
+			dirtyRep[n] = true
+			d.DirtyReplicas = append(d.DirtyReplicas, n)
+		}
+	}
+
+	prevMask, nextMask := prev.Allowed(), next.Allowed()
+	const tiny = 1e-12
+	for c := 0; c < next.C(); c++ {
+		pc := rowMap[c]
+		if pc < 0 || pc >= prev.C() {
+			d.MaskChanged++
+			d.DirtyClients = append(d.DirtyClients, c)
+			continue
+		}
+		rOld, rNew := prev.Demands[pc], next.Demands[c]
+		if math.Abs(rNew-rOld) > eps*math.Max(math.Max(rOld, rNew), tiny) {
+			d.DemandDrift++
+			d.DirtyClients = append(d.DirtyClients, c)
+			continue
+		}
+		row, prow := nextMask[c], prevMask[pc]
+		changed, promoted := false, false
+		for n, ok := range row {
+			if ok != prow[colMap[n]] {
+				changed = true
+				break
+			}
+			if ok && dirtyRep[n] {
+				promoted = true
+			}
+		}
+		switch {
+		case changed:
+			d.MaskChanged++
+			d.DirtyClients = append(d.DirtyClients, c)
+		case promoted:
+			d.Promoted++
+			d.DirtyClients = append(d.DirtyClients, c)
+		default:
+			d.CleanClients = append(d.CleanClients, c)
+		}
+	}
+	sort.Ints(d.DirtyClients)
+	return d, nil
+}
+
+// KKTGap is the cheap first-order optimality check gating incremental
+// results. For the EDR objective the feasible set is a transportation
+// polytope and the cost depends on the assignment only through column
+// sums, so at an optimum every client's served replicas share the lowest
+// attainable marginal: no used replica may be strictly more expensive (at
+// the margin) than a reachable replica with spare capacity. The returned
+// gap sums, over clients, R_c times the positive part of
+//
+//	max marginal over used replicas − min marginal over unsaturated
+//	reachable replicas
+//
+// which upper-bounds nothing exactly but scales like the first-order
+// improvement a mass shift could achieve; the runtime compares it against
+// a small fraction of the objective and escalates to a full solve when it
+// is large. A return of 0 means x passes the stationarity spot-check.
+func KKTGap(p *Problem, x [][]float64) float64 {
+	n := p.N()
+	cols := ColSums(x)
+	marginal := make([]float64, n)
+	unsat := make([]bool, n)
+	for j := 0; j < n; j++ {
+		rep := p.System.Replicas[j]
+		marginal[j] = rep.MarginalCost(cols[j])
+		unsat[j] = cols[j] < rep.Bandwidth-1e-9*math.Max(1, rep.Bandwidth)
+	}
+	mask := p.Allowed()
+	const tiny = 1e-9
+	gap := 0.0
+	for c, row := range x {
+		maxUsed := math.Inf(-1)
+		minFree := math.Inf(1)
+		for j, v := range row {
+			if v > tiny*math.Max(1, p.Demands[c]) && marginal[j] > maxUsed {
+				maxUsed = marginal[j]
+			}
+			if mask[c][j] && unsat[j] && marginal[j] < minFree {
+				minFree = marginal[j]
+			}
+		}
+		if diff := maxUsed - minFree; diff > 0 && !math.IsInf(maxUsed, -1) && !math.IsInf(minFree, 1) {
+			gap += p.Demands[c] * diff
+		}
+	}
+	return gap
+}

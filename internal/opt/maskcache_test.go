@@ -1,0 +1,63 @@
+package opt
+
+import "testing"
+
+// The cross-round cohort cache re-primes Problems with masks and sparsity
+// views that outlive the Problem they were built for, which makes the
+// PrimeMask/InvalidateMask interaction load-bearing: an invalidated
+// problem must never serve a previously primed (now stale) Sparsity, and
+// a re-primed problem must serve exactly the primed objects.
+func TestInvalidateMaskDropsPrimedSparsity(t *testing.T) {
+	p := testProblem(t, []float64{1, 5}, []float64{10, 20})
+	p.Latency[0][1] = 0.005 // infeasible pair, so the real mask is non-trivial
+
+	// Prime with a deliberately different (all-true) mask.
+	primedMask := [][]bool{{true, true}, {true, true}}
+	primedSp := NewSparsity(primedMask)
+	p.PrimeMask(primedMask, primedSp)
+	if got := p.Sparsity(); got != primedSp {
+		t.Fatal("primed sparsity not served back")
+	}
+	if !p.Allowed()[0][1] {
+		t.Fatal("primed mask not served back")
+	}
+
+	// Invalidate: both caches must be rebuilt from Latency, not retained.
+	p.InvalidateMask()
+	if got := p.Sparsity(); got == primedSp {
+		t.Fatal("InvalidateMask kept serving the stale primed Sparsity")
+	}
+	if p.Allowed()[0][1] {
+		t.Fatal("InvalidateMask kept serving the stale primed mask")
+	}
+	if sp := p.Sparsity(); sp.RowStart[1]-sp.RowStart[0] != 1 {
+		t.Fatalf("rebuilt sparsity has %d entries in row 0, want 1", sp.RowStart[1]-sp.RowStart[0])
+	}
+}
+
+// Priming a mask without a sparsity view must build the view from the
+// primed mask on first use — not from Latency, and not from any view the
+// problem served earlier.
+func TestPrimeMaskNilSparsityBuildsFromPrimedMask(t *testing.T) {
+	p := testProblem(t, []float64{1, 5}, []float64{10, 20})
+	before := p.Sparsity() // latency-derived, full density
+	primedMask := [][]bool{{true, false}, {false, true}}
+	p.PrimeMask(primedMask, nil)
+	sp := p.Sparsity()
+	if sp == before {
+		t.Fatal("PrimeMask(mask, nil) served the pre-prime sparsity")
+	}
+	if sp.RowStart[2] != 2 {
+		t.Fatalf("sparsity has %d entries, want 2 (from primed mask)", sp.RowStart[2])
+	}
+}
+
+func TestPrimeMaskDimensionPanics(t *testing.T) {
+	p := testProblem(t, []float64{1, 5}, []float64{10, 20})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrimeMask with wrong row count did not panic")
+		}
+	}()
+	p.PrimeMask([][]bool{{true, true}}, nil)
+}

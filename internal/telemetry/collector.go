@@ -20,6 +20,8 @@ import (
 //	edr_round_objective                    gauge, energy cost of the last round
 //	edr_round_cohorts                      gauge, virtual clients of the last round (0 = ungrouped)
 //	edr_round_cohort_ratio                 gauge, |C|/|K| compression of the last round
+//	edr_round_dirty_clients                gauge, dirty-subset size of the last round (clients on full rounds)
+//	edr_round_suppressed_notifies          gauge, notifies suppressed on the last round
 //	edr_ring_joined_total{member}          counter, members added to the view
 //	edr_ring_removed_total{member}         counter, members removed from the view
 //	edr_membership_drained_total{member}   counter, members drained by epochs
@@ -44,6 +46,8 @@ type Collector struct {
 	lastEpoch       int
 	lastCohorts     int
 	lastCohortRatio float64
+	lastDirty       int
+	lastSuppressed  int
 }
 
 // DefaultRoundLog is how many recent rounds /debug/rounds retains when
@@ -82,6 +86,18 @@ func NewCollector(keep int) *Collector {
 			defer c.mu.Unlock()
 			return c.lastCohortRatio
 		})
+	reg.Gauge("edr_round_dirty_clients",
+		"Clients the most recent round re-solved: the dirty subset on incremental rounds, every client otherwise.", nil, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.lastDirty)
+		})
+	reg.Gauge("edr_round_suppressed_notifies",
+		"Clients not re-notified on the most recent round (allocation moved within epsilon).", nil, func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.lastSuppressed)
+		})
 	reg.Gauge("edr_membership_epoch",
 		"Sequence number of the most recently committed cluster epoch.", nil, func() float64 {
 			c.mu.Lock()
@@ -119,6 +135,12 @@ func (c *Collector) Handle(e Event) {
 		c.lastObjective = ev.Objective
 		c.lastCohorts = ev.Cohorts
 		c.lastCohortRatio = ev.CohortRatio
+		if ev.Incremental {
+			c.lastDirty = ev.DirtyClients
+		} else {
+			c.lastDirty = ev.Clients
+		}
+		c.lastSuppressed = ev.SuppressedNotifies
 		c.rounds = append(c.rounds, ev)
 		if len(c.rounds) > c.keep {
 			c.rounds = c.rounds[len(c.rounds)-c.keep:]

@@ -38,6 +38,14 @@ type RoundCompleted struct {
 	// CohortRatio is the compression ratio |C|/|K| of the grouping
 	// (0 when ungrouped).
 	CohortRatio float64 `json:"cohort_ratio,omitempty"`
+	// Incremental reports a dirty-subset round: only DirtyClients of the
+	// Clients were re-solved, the rest kept their committed rows.
+	Incremental bool `json:"incremental,omitempty"`
+	// DirtyClients is the dirty-subset size of an incremental round.
+	DirtyClients int `json:"dirty_clients,omitempty"`
+	// SuppressedNotifies counts clients whose allocation moved too little
+	// to be worth a notify this round.
+	SuppressedNotifies int `json:"suppressed_notifies,omitempty"`
 	// Duration is the wall time of the whole round (including restarts).
 	Duration time.Duration `json:"duration_ns"`
 	// Degraded reports a last-known-good fallback round.
